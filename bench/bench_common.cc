@@ -1,0 +1,209 @@
+#include "bench/bench_common.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace clsm {
+
+BenchConfig LoadBenchConfig() {
+  BenchConfig config;
+  const char* scale = getenv("CLSM_BENCH_SCALE");
+  if (scale != nullptr && strcmp(scale, "paper") == 0) {
+    config.scale = "paper";
+    config.duration_ms = 10'000;
+    config.num_keys = 5'000'000;
+    config.preload_keys = 2'000'000;
+    config.write_buffer_size = 64 << 20;
+  }
+  const char* threads = getenv("CLSM_BENCH_THREADS");
+  if (threads != nullptr) {
+    config.thread_counts.clear();
+    const char* p = threads;
+    while (*p != '\0') {
+      config.thread_counts.push_back(atoi(p));
+      const char* comma = strchr(p, ',');
+      if (comma == nullptr) {
+        break;
+      }
+      p = comma + 1;
+    }
+  }
+  const char* duration = getenv("CLSM_BENCH_DURATION_MS");
+  if (duration != nullptr) {
+    config.duration_ms = atoi(duration);
+  }
+  return config;
+}
+
+void PrintFigureHeader(const std::string& figure_id, const std::string& description,
+                       const BenchConfig& config) {
+  printf("==================================================================\n");
+  printf("%s — %s\n", figure_id.c_str(), description.c_str());
+  printf("scale=%s  cell=%dms  keys=%llu  hw_threads=%u\n", config.scale.c_str(),
+         config.duration_ms, static_cast<unsigned long long>(config.num_keys),
+         std::thread::hardware_concurrency());
+  printf("==================================================================\n");
+  fflush(stdout);
+}
+
+Options FigureOptions(const BenchConfig& config) {
+  Options options;
+  options.write_buffer_size = config.write_buffer_size;  // the "128MB" knob, scaled
+  options.sync_logging = false;                          // paper default: async logging
+  return options;
+}
+
+std::string FreshDbDir(const std::string& tag) {
+  std::string dir = "/tmp/clsm-bench-" + tag;
+  std::string cmd = "rm -rf " + dir;
+  int rc = system(cmd.c_str());
+  (void)rc;
+  return dir;
+}
+
+DriverResult RunCell(DbVariant variant, const WorkloadSpec& spec, int threads,
+                     const BenchConfig& config, const Options& base_options) {
+  std::string dir = FreshDbDir(std::string(VariantName(variant)));
+  DB* raw = nullptr;
+  Status s = OpenDb(variant, base_options, dir, &raw);
+  if (!s.ok()) {
+    fprintf(stderr, "open %s failed: %s\n", VariantName(variant), s.ToString().c_str());
+    return DriverResult();
+  }
+  std::unique_ptr<DB> db(raw);
+  s = LoadKeySpace(db.get(), config.preload_keys, spec.key_size, spec.value_size);
+  if (!s.ok()) {
+    fprintf(stderr, "preload failed: %s\n", s.ToString().c_str());
+    return DriverResult();
+  }
+  db->WaitForMaintenance();
+  DriverResult result = RunWorkload(db.get(), spec, threads, config.duration_ms);
+  db->WaitForMaintenance();
+  return result;
+}
+
+DriverResult RunTraceWorkload(DB* db, const TraceSpec& spec, int threads, int duration_ms,
+                              uint64_t seed_base) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  struct ThreadStats {
+    uint64_t ops = 0, reads = 0, writes = 0;
+    Histogram latency;
+  };
+  std::vector<ThreadStats> stats(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      TraceGenerator gen(spec, seed_base + t * 131);
+      ThreadStats& my = stats[t];
+      std::string key, value;
+      WriteOptions wo;
+      ReadOptions ro;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        TraceOpType op = gen.NextOpType();
+        gen.NextKey(&key);
+        auto t0 = std::chrono::steady_clock::now();
+        if (op == TraceOpType::kGet) {
+          db->Get(ro, key, &value);
+          my.reads++;
+        } else {
+          db->Put(wo, key, gen.NextValue());
+          my.writes++;
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        my.latency.Add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() / 1000.0);
+        my.ops++;
+      }
+    });
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+
+  DriverResult result;
+  result.duration_secs = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& s : stats) {
+    result.total_ops += s.ops;
+    result.reads += s.reads;
+    result.writes += s.writes;
+    result.latency_micros.Merge(s.latency);
+  }
+  result.ops_per_sec = result.total_ops / result.duration_secs;
+  result.keys_per_sec = result.ops_per_sec;
+  return result;
+}
+
+Status LoadTraceKeySpace(DB* db, const TraceSpec& spec) {
+  return LoadKeySpace(db, spec.num_keys, spec.key_size, spec.value_size);
+}
+
+ResultTable::ResultTable(const std::string& metric, std::vector<int> thread_counts)
+    : metric_(metric), thread_counts_(std::move(thread_counts)) {}
+
+void ResultTable::Add(DbVariant variant, int threads, double value) {
+  Cell& cell = rows_[VariantName(variant)][threads];
+  cell.value = value;
+  cell.set = true;
+}
+
+void ResultTable::AddLatency(DbVariant variant, int threads, double p90_micros) {
+  rows_[VariantName(variant)][threads].p90 = p90_micros;
+}
+
+double ResultTable::Get(DbVariant variant, int threads) const {
+  auto row = rows_.find(VariantName(variant));
+  if (row == rows_.end()) {
+    return 0;
+  }
+  auto cell = row->second.find(threads);
+  return cell == row->second.end() ? 0 : cell->second.value;
+}
+
+void ResultTable::Print() const {
+  printf("\n%-16s", (metric_ + " \\ threads").c_str());
+  for (int t : thread_counts_) {
+    printf("%12d", t);
+  }
+  printf("\n");
+  for (const auto& [name, cells] : rows_) {
+    printf("%-16s", name.c_str());
+    for (int t : thread_counts_) {
+      auto it = cells.find(t);
+      if (it != cells.end() && it->second.set) {
+        printf("%12.0f", it->second.value);
+      } else {
+        printf("%12s", "-");
+      }
+    }
+    printf("\n");
+  }
+  fflush(stdout);
+}
+
+void ResultTable::PrintLatencyView() const {
+  printf("\n%-16s %10s %14s %14s\n", "system", "threads", metric_.c_str(), "p90-lat(us)");
+  for (const auto& [name, cells] : rows_) {
+    for (int t : thread_counts_) {
+      auto it = cells.find(t);
+      if (it != cells.end() && it->second.set) {
+        printf("%-16s %10d %14.0f %14.1f\n", name.c_str(), t, it->second.value, it->second.p90);
+      }
+    }
+  }
+  fflush(stdout);
+}
+
+}  // namespace clsm

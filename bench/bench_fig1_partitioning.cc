@@ -1,0 +1,162 @@
+// Figure 1 (paper §2.2): resource-shared vs resource-isolated scalability.
+// The resource-isolated configuration runs LevelDB / HyperLevelDB as 4
+// separate partitions, each fed by a distinct production-like log and
+// served by a dedicated quarter of the worker threads. The resource-shared
+// configuration runs cLSM as one big partition — the union of the four
+// logs — served by all worker threads.
+//
+// Expected shape (paper): cLSM's single big partition scales better than
+// the partitioned competitors, peaking ~25% above them — supporting the
+// consolidation argument (bigger consistent scans, less partition
+// metadata) of §2.2.
+#include <thread>
+
+#include "bench/bench_common.h"
+
+using namespace clsm;
+
+namespace {
+
+// Runs `total_threads` distributed round-robin over `dbs[i]` with that
+// db's trace spec; returns aggregate ops/sec.
+double RunPartitioned(const std::vector<DB*>& dbs, const std::vector<TraceSpec>& specs,
+                      int total_threads, int duration_ms) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_ops{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < total_threads; t++) {
+    workers.emplace_back([&, t] {
+      const size_t p = t % dbs.size();
+      DB* db = dbs[p];
+      TraceGenerator gen(specs[p], 1000 + t);
+      std::string key, value;
+      WriteOptions wo;
+      ReadOptions ro;
+      uint64_t ops = 0;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (gen.NextOpType() == TraceOpType::kGet) {
+          gen.NextKey(&key);
+          db->Get(ro, key, &value);
+        } else {
+          gen.NextKey(&key);
+          db->Put(wo, key, gen.NextValue());
+        }
+        ops++;
+      }
+      total_ops.fetch_add(ops);
+    });
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  return total_ops.load() / std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = LoadBenchConfig();
+  PrintFigureHeader("Figure 1",
+                    "resource-isolated (4 partitions) vs resource-shared (1 big partition)",
+                    config);
+
+  uint64_t keys_per_partition = config.scale == "paper" ? 500'000 : 12'000;
+  std::vector<TraceSpec> specs = ProductionTraceSpecs(keys_per_partition);
+
+  printf("\n%-28s", "config \\ threads");
+  for (int t : config.thread_counts) {
+    printf("%12d", t);
+  }
+  printf("\n");
+
+  // Resource-isolated: LevelDB and HyperLevelDB, 4 partitions each.
+  for (DbVariant v : {DbVariant::kLevelDb, DbVariant::kHyperLevelDb}) {
+    printf("%-28s", (std::string(VariantName(v)) + " x4 partitions").c_str());
+    for (int threads : config.thread_counts) {
+      std::vector<std::unique_ptr<DB>> owners;
+      std::vector<DB*> dbs;
+      Options options = FigureOptions(config);
+      // Split the memory budget across the partitions, as a real deployment
+      // would.
+      options.write_buffer_size = std::max<size_t>(64 << 10, options.write_buffer_size / 4);
+      bool ok = true;
+      for (size_t p = 0; p < specs.size(); p++) {
+        std::string dir =
+            FreshDbDir(std::string(VariantName(v)) + "-part" + std::to_string(p));
+        DB* raw = nullptr;
+        Status s = OpenDb(v, options, dir, &raw);
+        if (!s.ok()) {
+          ok = false;
+          break;
+        }
+        owners.emplace_back(raw);
+        dbs.push_back(raw);
+        if (!LoadTraceKeySpace(raw, specs[p]).ok()) {
+          ok = false;
+          break;
+        }
+        raw->WaitForMaintenance();
+      }
+      if (!ok) {
+        printf("%12s", "-");
+        continue;
+      }
+      double ops = RunPartitioned(dbs, specs, threads, config.duration_ms);
+      printf("%12.0f", ops);
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+
+  // Resource-shared: cLSM, one big partition holding the union. Each
+  // worker thread draws from one of the four logs (round-robin), all
+  // hitting the same store; key spaces are disjoint via an index offset
+  // encoded in the per-partition key prefix.
+  {
+    printf("%-28s", "clsm 1 big partition");
+    for (int threads : config.thread_counts) {
+      std::string dir = FreshDbDir("clsm-big");
+      DB* raw = nullptr;
+      Options options = FigureOptions(config);
+      Status s = OpenDb(DbVariant::kClsm, options, dir, &raw);
+      if (!s.ok()) {
+        printf("%12s", "-");
+        continue;
+      }
+      std::unique_ptr<DB> db(raw);
+      // Union load: all four key spaces (disjoint because TraceGenerator
+      // seeds differ => same index space; emulate disjointness by loading
+      // once with 4x keys).
+      TraceSpec union_spec = specs[0];
+      union_spec.num_keys = keys_per_partition * 4;
+      if (!LoadTraceKeySpace(db.get(), union_spec).ok()) {
+        printf("%12s", "-");
+        continue;
+      }
+      db->WaitForMaintenance();
+      std::vector<DB*> dbs(specs.size(), db.get());
+      std::vector<TraceSpec> big_specs = specs;
+      for (auto& sp : big_specs) {
+        sp.num_keys = keys_per_partition * 4;
+      }
+      double ops = RunPartitioned(dbs, big_specs, threads, config.duration_ms);
+      printf("%12.0f", ops);
+      fflush(stdout);
+      db->WaitForMaintenance();
+    }
+    printf("\n");
+  }
+
+  printf("\n(paper shape: the resource-shared cLSM configuration peaks ~25%% above\n"
+         " the partitioned LevelDB/HyperLevelDB configurations)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 7 (paper §5.1): mixed workloads.
+//   Fig 7a: 50% reads / 50% writes (ops/sec).
+//   Fig 7b: 50% scans / 50% writes where each scan covers 10-20 keys, so
+//           scan *operations* are ~15x rarer than writes to balance the
+//           number of keys written and scanned; throughput is keys/sec.
+//
+// Expected shape (paper): LevelDB fails to scale even at 50% writes;
+// HyperLevelDB slightly better; cLSM exploits all threads (~730K ops/s at
+// 16 in the paper). For scans, competitors trail cLSM by more than 60%.
+// bLSM is excluded from 7b (no consistent scans in the original).
+#include "bench/bench_common.h"
+
+using namespace clsm;
+
+int main() {
+  BenchConfig config = LoadBenchConfig();
+  PrintFigureHeader("Figure 7", "mixed read/write and scan/write throughput", config);
+
+  Options options = FigureOptions(config);
+
+  {
+    WorkloadSpec spec;
+    spec.write_fraction = 0.5;
+    spec.distribution = KeyDist::kHotBlock;
+    spec.num_keys = config.preload_keys;
+
+    std::vector<DbVariant> systems = {DbVariant::kRocksDb, DbVariant::kBlsm, DbVariant::kLevelDb,
+                                      DbVariant::kHyperLevelDb, DbVariant::kClsm};
+    ResultTable table("ops/sec", config.thread_counts);
+    for (DbVariant v : systems) {
+      for (int threads : config.thread_counts) {
+        DriverResult r = RunCell(v, spec, threads, config, options);
+        table.Add(v, threads, r.ops_per_sec);
+      }
+    }
+    printf("\n--- Fig 7a: 50%% read / 50%% write (ops/sec) ---\n");
+    table.Print();
+  }
+
+  {
+    // Keys scanned per op ~15, so scans are 1/16 of operations to keep keys
+    // written ≈ keys scanned, as in the paper.
+    WorkloadSpec spec;
+    spec.write_fraction = 15.0 / 16.0;
+    spec.scan_fraction = 1.0 / 16.0;
+    spec.distribution = KeyDist::kHotBlock;
+    spec.num_keys = config.preload_keys;
+
+    std::vector<DbVariant> systems = {DbVariant::kRocksDb, DbVariant::kLevelDb,
+                                      DbVariant::kHyperLevelDb, DbVariant::kClsm};
+    ResultTable table("keys/sec", config.thread_counts);
+    for (DbVariant v : systems) {
+      for (int threads : config.thread_counts) {
+        DriverResult r = RunCell(v, spec, threads, config, options);
+        table.Add(v, threads, r.keys_per_sec);
+      }
+    }
+    printf("\n--- Fig 7b: 50%% scan / 50%% write (keys/sec; bLSM excluded) ---\n");
+    table.Print();
+  }
+  return 0;
+}

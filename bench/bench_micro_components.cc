@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark) of the concurrency substrates the
+// cLSM algorithm is built from: the lock-free skip list, the shared-
+// exclusive lock, the Active timestamp set, the MPSC logging queue and the
+// concurrent arena. These quantify the "multiprocessor-friendly data
+// structures" claim (§1) at the component level.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/arena/arena.h"
+#include "src/queue/mpsc_queue.h"
+#include "src/skiplist/concurrent_skiplist.h"
+#include "src/sync/active_set.h"
+#include "src/sync/shared_exclusive_lock.h"
+#include "src/sync/time_counter.h"
+#include "src/util/coding.h"
+#include "src/util/random.h"
+
+namespace clsm {
+namespace {
+
+struct U64Comparator {
+  int operator()(const char* a, const char* b) const {
+    uint64_t va = DecodeFixed64(a);
+    uint64_t vb = DecodeFixed64(b);
+    return va < vb ? -1 : (va > vb ? 1 : 0);
+  }
+};
+
+void BM_SkipListInsert(benchmark::State& state) {
+  static ConcurrentArena* arena = nullptr;
+  static ConcurrentSkipList<const char*, U64Comparator>* list = nullptr;
+  static std::atomic<uint64_t>* counter = nullptr;
+  if (state.thread_index() == 0) {
+    arena = new ConcurrentArena;
+    list = new ConcurrentSkipList<const char*, U64Comparator>(U64Comparator(), arena);
+    counter = new std::atomic<uint64_t>(0);
+  }
+  for (auto _ : state) {
+    uint64_t v = counter->fetch_add(1, std::memory_order_relaxed);
+    char* key = arena->AllocateAligned(8);
+    EncodeFixed64(key, v * 2654435761u);  // scatter
+    list->Insert(key);
+  }
+  if (state.thread_index() == 0) {
+    delete list;
+    delete arena;
+    delete counter;
+  }
+}
+BENCHMARK(BM_SkipListInsert)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_SkipListContains(benchmark::State& state) {
+  static ConcurrentArena* arena = nullptr;
+  static ConcurrentSkipList<const char*, U64Comparator>* list = nullptr;
+  if (state.thread_index() == 0) {
+    arena = new ConcurrentArena;
+    list = new ConcurrentSkipList<const char*, U64Comparator>(U64Comparator(), arena);
+    for (uint64_t i = 0; i < 100000; i++) {
+      char* key = arena->AllocateAligned(8);
+      EncodeFixed64(key, i);
+      list->Insert(key);
+    }
+  }
+  Random64 rnd(state.thread_index() + 1);
+  char probe[8];
+  for (auto _ : state) {
+    EncodeFixed64(probe, rnd.Uniform(100000));
+    benchmark::DoNotOptimize(list->Contains(probe));
+  }
+  if (state.thread_index() == 0) {
+    delete list;
+    delete arena;
+  }
+}
+BENCHMARK(BM_SkipListContains)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_SharedLockAcquire(benchmark::State& state) {
+  static SharedExclusiveLock lock;
+  for (auto _ : state) {
+    lock.LockShared();
+    lock.UnlockShared();
+  }
+}
+BENCHMARK(BM_SharedLockAcquire)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ActiveSetAddRemove(benchmark::State& state) {
+  static ActiveTimestampSet set;
+  static TimeCounter counter;
+  for (auto _ : state) {
+    uint64_t ts = counter.IncAndGet();
+    set.Add(ts);
+    set.Remove(ts);
+  }
+}
+BENCHMARK(BM_ActiveSetAddRemove)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ActiveSetFindMin(benchmark::State& state) {
+  static ActiveTimestampSet set;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.FindMin());
+  }
+}
+BENCHMARK(BM_ActiveSetFindMin)->ThreadRange(1, 4)->UseRealTime();
+
+void BM_MpscEnqueue(benchmark::State& state) {
+  static MpscQueue<uint64_t>* queue = nullptr;
+  static std::atomic<bool>* stop = nullptr;
+  static std::thread* consumer = nullptr;
+  if (state.thread_index() == 0) {
+    queue = new MpscQueue<uint64_t>;
+    stop = new std::atomic<bool>(false);
+    consumer = new std::thread([] {
+      while (!stop->load(std::memory_order_acquire)) {
+        if (!queue->Dequeue().has_value()) {
+          std::this_thread::yield();
+        }
+      }
+      while (queue->Dequeue().has_value()) {
+      }
+    });
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    queue->Enqueue(i++);
+  }
+  if (state.thread_index() == 0) {
+    stop->store(true, std::memory_order_release);
+    consumer->join();
+    delete consumer;
+    delete queue;
+    delete stop;
+  }
+}
+BENCHMARK(BM_MpscEnqueue)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ConcurrentArenaAllocate(benchmark::State& state) {
+  static ConcurrentArena* arena = nullptr;
+  if (state.thread_index() == 0) {
+    arena = new ConcurrentArena;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena->AllocateAligned(48));
+  }
+  if (state.thread_index() == 0) {
+    delete arena;
+  }
+}
+BENCHMARK(BM_ConcurrentArenaAllocate)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+}  // namespace clsm
+
+BENCHMARK_MAIN();

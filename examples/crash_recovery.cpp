@@ -1,0 +1,107 @@
+// Crash recovery with asynchronous group logging (paper §2.3, §4): writes
+// are logged by a background thread, so log records can hit the file out of
+// timestamp order; recovery re-sorts by the embedded cLSM timestamps. A
+// synchronous write acts as a durability barrier.
+//
+// This example forks a child that writes and crashes (abrupt _exit, no
+// clean close), then the parent recovers the store and audits what
+// survived.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/clsm_db.h"
+
+using namespace clsm;
+
+int main() {
+  const std::string path = "/tmp/clsm-crash-demo";
+  std::string cmd = "rm -rf " + path;
+  int rc = system(cmd.c_str());
+  (void)rc;
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    perror("fork");
+    return 1;
+  }
+
+  if (pid == 0) {
+    // ---- Child: write, then crash without closing. ----
+    Options options;
+    DB* raw = nullptr;
+    if (!ClsmDb::Open(options, path, &raw).ok()) {
+      _exit(2);
+    }
+    std::unique_ptr<DB> db(raw);
+    WriteOptions async_wo;            // default: asynchronous logging
+    WriteOptions sync_wo;
+    sync_wo.sync = true;              // durability barrier
+
+    // Phase 1: 1000 asynchronous writes.
+    for (int i = 0; i < 1000; i++) {
+      db->Put(async_wo, "account-" + std::to_string(i), "balance-" + std::to_string(i * 10));
+    }
+    // Phase 2: one synchronous write — everything above is now durable.
+    db->Put(sync_wo, "checkpoint", "phase-1-complete");
+
+    // Phase 3: more asynchronous writes that may or may not survive the
+    // crash (the risk the paper accepts for memory-speed writes).
+    for (int i = 0; i < 1000; i++) {
+      db->Put(async_wo, "volatile-" + std::to_string(i), "maybe");
+    }
+
+    db.release();  // deliberately leak: no destructor, no WAL drain
+    _exit(0);      // CRASH
+  }
+
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  printf("child crashed (exit status %d); recovering...\n", WEXITSTATUS(wstatus));
+
+  // ---- Parent: recover and audit. ----
+  Options options;
+  DB* raw = nullptr;
+  Status s = ClsmDb::Open(options, path, &raw);
+  if (!s.ok()) {
+    fprintf(stderr, "recovery failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DB> db(raw);
+
+  ReadOptions ro;
+  std::string v;
+
+  s = db->Get(ro, "checkpoint", &v);
+  printf("checkpoint: %s\n", s.ok() ? v.c_str() : "LOST (must never happen)");
+  if (!s.ok()) {
+    return 1;
+  }
+
+  int survived_accounts = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (db->Get(ro, "account-" + std::to_string(i), &v).ok()) {
+      survived_accounts++;
+    }
+  }
+  printf("accounts before the sync barrier: %d/1000 recovered (must be 1000)\n",
+         survived_accounts);
+  if (survived_accounts != 1000) {
+    return 1;
+  }
+
+  int survived_volatile = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (db->Get(ro, "volatile-" + std::to_string(i), &v).ok()) {
+      survived_volatile++;
+    }
+  }
+  printf("asynchronous writes after the barrier: %d/1000 recovered\n", survived_volatile);
+  printf("(any number is legal here — asynchronous logging may lose a recent\n"
+         " suffix on a crash; in practice the background logger usually keeps up)\n");
+
+  printf("recovery audit passed\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Geo-replication reconciliation with atomic read-modify-write (paper §1,
+// §2.1, §3.3): multiple replication streams apply vector-clocked updates to
+// the same keys concurrently. Each apply must atomically read the stored
+// (vector clock, value), compare it with the incoming update's clock, and
+// keep the causally newer one (merging concurrent clocks) — the
+// "conditional update" use case the paper cites from Dynamo/PNUTS.
+//
+// With cLSM's lock-free RMW, streams reconcile without any per-key locks;
+// losing an update would manifest as a final clock smaller than the join
+// of all applied clocks.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/core/clsm_db.h"
+#include "src/util/random.h"
+
+using namespace clsm;
+
+namespace {
+
+constexpr int kSites = 4;
+constexpr int kKeys = 50;
+constexpr int kUpdatesPerSite = 2000;
+
+// Vector clock serialized as "c0.c1.c2.c3|payload".
+struct Clocked {
+  uint64_t clock[kSites] = {0, 0, 0, 0};
+  std::string payload;
+
+  static Clocked Parse(const Slice& raw) {
+    Clocked c;
+    std::string s = raw.ToString();
+    size_t bar = s.find('|');
+    std::stringstream clock_part(s.substr(0, bar));
+    std::string tok;
+    int i = 0;
+    while (std::getline(clock_part, tok, '.') && i < kSites) {
+      c.clock[i++] = std::stoull(tok);
+    }
+    c.payload = s.substr(bar + 1);
+    return c;
+  }
+
+  std::string Serialize() const {
+    std::string out;
+    for (int i = 0; i < kSites; i++) {
+      if (i > 0) {
+        out += '.';
+      }
+      out += std::to_string(clock[i]);
+    }
+    out += '|';
+    out += payload;
+    return out;
+  }
+
+  // Pointwise join of two clocks.
+  void MergeFrom(const Clocked& other) {
+    for (int i = 0; i < kSites; i++) {
+      clock[i] = std::max(clock[i], other.clock[i]);
+    }
+  }
+
+  bool Dominates(const Clocked& other) const {
+    for (int i = 0; i < kSites; i++) {
+      if (clock[i] < other.clock[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const std::string path = "/tmp/clsm-vclock";
+  std::string cmd = "rm -rf " + path;
+  int rc = system(cmd.c_str());
+  (void)rc;
+
+  Options options;
+  DB* raw = nullptr;
+  Status s = ClsmDb::Open(options, path, &raw);
+  if (!s.ok()) {
+    fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DB> db(raw);
+
+  // Each site applies updates carrying its own clock increments.
+  std::vector<std::thread> sites;
+  std::vector<std::vector<uint64_t>> applied(kSites, std::vector<uint64_t>(kKeys, 0));
+  for (int site = 0; site < kSites; site++) {
+    sites.emplace_back([&, site] {
+      Random64 rnd(site * 977 + 1);
+      WriteOptions wo;
+      for (int u = 0; u < kUpdatesPerSite; u++) {
+        int key_id = static_cast<int>(rnd.Uniform(kKeys));
+        std::string key = "item-" + std::to_string(key_id);
+        applied[site][key_id]++;
+        uint64_t my_count = applied[site][key_id];
+        db->ReadModifyWrite(
+            wo, key, [&](const std::optional<Slice>& cur) -> std::optional<std::string> {
+              Clocked incoming;
+              incoming.clock[site] = my_count;
+              incoming.payload = "site" + std::to_string(site) + "-u" + std::to_string(u);
+              if (!cur.has_value()) {
+                return incoming.Serialize();
+              }
+              Clocked stored = Clocked::Parse(*cur);
+              if (stored.Dominates(incoming)) {
+                // Causally stale update: keep the stored version but still
+                // record the site's component (join), as reconciliation
+                // protocols do.
+                stored.MergeFrom(incoming);
+                return stored.Serialize();
+              }
+              incoming.MergeFrom(stored);
+              return incoming.Serialize();
+            });
+      }
+    });
+  }
+  for (auto& t : sites) {
+    t.join();
+  }
+
+  // Verify: the stored clock for every key must equal the join of all
+  // applied updates — any lost RMW would leave a component behind.
+  ReadOptions ro;
+  int errors = 0;
+  uint64_t total_updates = 0;
+  for (int k = 0; k < kKeys; k++) {
+    std::string key = "item-" + std::to_string(k);
+    std::string v;
+    if (!db->Get(ro, key, &v).ok()) {
+      // A key no site happened to touch.
+      bool touched = false;
+      for (int site = 0; site < kSites; site++) {
+        touched = touched || applied[site][k] > 0;
+      }
+      if (touched) {
+        errors++;
+      }
+      continue;
+    }
+    Clocked stored = Clocked::Parse(v);
+    for (int site = 0; site < kSites; site++) {
+      total_updates += applied[site][k];
+      if (stored.clock[site] != applied[site][k]) {
+        printf("key %s: site %d clock %llu != applied %llu  (LOST UPDATE)\n", key.c_str(), site,
+               static_cast<unsigned long long>(stored.clock[site]),
+               static_cast<unsigned long long>(applied[site][k]));
+        errors++;
+      }
+    }
+  }
+
+  printf("reconciled %llu updates from %d sites over %d keys: %s\n",
+         static_cast<unsigned long long>(total_updates), kSites, kKeys,
+         errors == 0 ? "all vector clocks exact — no lost updates" : "ERRORS");
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+#include "src/arena/arena.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace clsm {
+
+namespace {
+constexpr size_t kBlockSize = 4096 * 64;  // 256 KiB chunks amortize malloc
+}  // namespace
+
+Arena::Arena()
+    : alloc_ptr_(nullptr), alloc_bytes_remaining_(0), block_list_head_(nullptr), memory_usage_(0) {}
+
+Arena::~Arena() {
+  void* p = block_list_head_;
+  while (p != nullptr) {
+    void* next = *reinterpret_cast<void**>(p);
+    free(p);
+    p = next;
+  }
+}
+
+char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  const size_t align = alignof(std::max_align_t) > 8 ? 8 : alignof(std::max_align_t);
+  size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (align - 1);
+  size_t slop = (current_mod == 0 ? 0 : align - current_mod);
+  size_t needed = bytes + slop;
+  char* result;
+  if (needed <= alloc_bytes_remaining_) {
+    result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_bytes_remaining_ -= needed;
+  } else {
+    result = AllocateFallback(bytes);  // fresh blocks are malloc-aligned
+  }
+  assert((reinterpret_cast<uintptr_t>(result) & (align - 1)) == 0);
+  return result;
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large objects get their own block so we do not waste the rest of the
+    // current block.
+    return AllocateNewBlock(bytes);
+  }
+  char* block = AllocateNewBlock(kBlockSize);
+  alloc_ptr_ = block + bytes;
+  alloc_bytes_remaining_ = kBlockSize - bytes;
+  return block;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  size_t total = block_bytes + sizeof(void*);
+  char* raw = static_cast<char*>(malloc(total));
+  if (raw == nullptr) {
+    abort();
+  }
+  *reinterpret_cast<void**>(raw) = block_list_head_;
+  block_list_head_ = raw;
+  memory_usage_.fetch_add(total, std::memory_order_relaxed);
+  return raw + sizeof(void*);
+}
+
+ConcurrentArena::ConcurrentArena() : memory_usage_(0) {
+  current_.store(NewChunk(kBlockSize, nullptr), std::memory_order_relaxed);
+}
+
+ConcurrentArena::~ConcurrentArena() {
+  Chunk* c = current_.load(std::memory_order_relaxed);
+  while (c != nullptr) {
+    Chunk* next = c->next;
+    free(c);
+    c = next;
+  }
+}
+
+ConcurrentArena::Chunk* ConcurrentArena::NewChunk(size_t capacity, Chunk* next) {
+  void* raw = malloc(sizeof(Chunk) + capacity);
+  if (raw == nullptr) {
+    abort();
+  }
+  Chunk* c = static_cast<Chunk*>(raw);
+  c->offset.store(0, std::memory_order_relaxed);
+  c->capacity = capacity;
+  c->next = next;
+  return c;
+}
+
+char* ConcurrentArena::AllocateAligned(size_t bytes) {
+  assert(bytes > 0);
+  // Round to 8-byte multiples so every returned pointer stays aligned.
+  bytes = (bytes + 7) & ~size_t{7};
+  // Usage counts bytes handed out, not chunk capacity: the memtable-roll
+  // trigger compares this against write_buffer_size, and counting reserved
+  // capacity would make small write buffers appear instantly full.
+  memory_usage_.fetch_add(bytes, std::memory_order_relaxed);
+  while (true) {
+    Chunk* c = current_.load(std::memory_order_acquire);
+    size_t off = c->offset.fetch_add(bytes, std::memory_order_relaxed);
+    if (off + bytes <= c->capacity) {
+      return c->data() + off;
+    }
+    // Chunk exhausted: race to install a replacement. The loser frees its
+    // candidate and retries in the winner's chunk.
+    size_t cap = bytes > kBlockSize ? bytes : kBlockSize;
+    Chunk* fresh = NewChunk(cap, c);
+    Chunk* expected = c;
+    if (!current_.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel)) {
+      free(fresh);
+    }
+  }
+}
+
+}  // namespace clsm

@@ -1,0 +1,77 @@
+// Memory arenas backing the in-memory component.
+//
+// ConcurrentArena is the non-blocking allocator the paper's implementation
+// section calls for (§4, citing Michael's scalable lock-free allocation):
+// allocation is a fetch_add bump inside the current chunk; chunk exhaustion
+// is handled by a CAS race to install a fresh chunk, so no allocating thread
+// ever blocks on another. All memory is released at arena destruction, which
+// matches memtable lifetime (a memtable dies wholesale after its merge).
+#ifndef CLSM_ARENA_ARENA_H_
+#define CLSM_ARENA_ARENA_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace clsm {
+
+// Single-threaded arena (used by baselines whose writes are serialized).
+class Arena {
+ public:
+  Arena();
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes);
+  // Aligned to pointer size; required for nodes holding std::atomic fields.
+  char* AllocateAligned(size_t bytes);
+
+  size_t MemoryUsage() const { return memory_usage_.load(std::memory_order_relaxed); }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  // Chunks are threaded through their first pointer-sized bytes.
+  void* block_list_head_;
+  std::atomic<size_t> memory_usage_;
+};
+
+// Lock-free multi-producer arena.
+class ConcurrentArena {
+ public:
+  ConcurrentArena();
+  ~ConcurrentArena();
+
+  ConcurrentArena(const ConcurrentArena&) = delete;
+  ConcurrentArena& operator=(const ConcurrentArena&) = delete;
+
+  // Returns pointer-aligned storage; never returns nullptr (aborts on OOM).
+  char* AllocateAligned(size_t bytes);
+  char* Allocate(size_t bytes) { return AllocateAligned(bytes); }
+
+  size_t MemoryUsage() const { return memory_usage_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Chunk {
+    std::atomic<size_t> offset;
+    size_t capacity;
+    Chunk* next;  // previous chunk in the retained list
+    // data follows
+    char* data() { return reinterpret_cast<char*>(this) + sizeof(Chunk); }
+  };
+
+  static Chunk* NewChunk(size_t capacity, Chunk* next);
+
+  std::atomic<Chunk*> current_;
+  std::atomic<size_t> memory_usage_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_ARENA_ARENA_H_

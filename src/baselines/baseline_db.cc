@@ -1,0 +1,485 @@
+#include "src/baselines/baseline_db.h"
+
+#include <chrono>
+
+#include "src/core/db_iter.h"
+#include "src/table/merging_iterator.h"
+
+namespace clsm {
+
+BaselineDbBase::BaselineDbBase(const Options& options, const std::string& dbname)
+    : dbname_(dbname), engine_(options, dbname) {}
+
+Status BaselineDbBase::Init() {
+  MemTable* recovered = nullptr;
+  SequenceNumber max_seq = 0;
+  Status s = engine_.Open(&recovered, &max_seq);
+  if (!s.ok()) {
+    if (recovered != nullptr) {
+      recovered->Unref();
+    }
+    return s;
+  }
+  last_sequence_.store(std::max(engine_.versions()->LastSequence(), max_seq));
+
+  if (!engine_.options().disable_wal) {
+    std::unique_ptr<AsyncLogger> logger;
+    s = engine_.NewLog(&log_number_, &logger);
+    if (!s.ok()) {
+      if (recovered != nullptr) {
+        recovered->Unref();
+      }
+      return s;
+    }
+    logger_.store(logger.release(), std::memory_order_release);
+  } else {
+    log_number_ = engine_.versions()->NewFileNumber();
+  }
+
+  engine_.versions()->SetLastSequence(
+      std::max(engine_.versions()->LastSequence(), last_sequence_.load()));
+  if (recovered != nullptr && recovered->NumEntries() > 0) {
+    s = engine_.FlushMemTable(recovered, log_number_);
+  } else {
+    s = engine_.CommitLogRotation(log_number_);
+  }
+  if (recovered != nullptr) {
+    recovered->Unref();
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  engine_.RemoveObsoleteFiles(log_number_, /*include_tables=*/true);
+
+  mem_.store(new MemTable(*engine_.icmp()), std::memory_order_release);
+  maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
+  return Status::OK();
+}
+
+BaselineDbBase::~BaselineDbBase() {
+  shutting_down_.store(true, std::memory_order_release);
+  maintenance_cv_.notify_all();
+  if (maintenance_thread_.joinable()) {
+    maintenance_thread_.join();
+  }
+  AsyncLogger* logger = logger_.exchange(nullptr, std::memory_order_acq_rel);
+  delete logger;
+  imm_logger_.reset();
+  MemTable* imm = imm_.exchange(nullptr, std::memory_order_acq_rel);
+  if (imm != nullptr) {
+    imm->Unref();
+  }
+  MemTable* mem = mem_.exchange(nullptr, std::memory_order_acq_rel);
+  if (mem != nullptr) {
+    mem->Unref();
+  }
+}
+
+Status BaselineDbBase::Put(const WriteOptions& options, const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, &batch);
+}
+
+Status BaselineDbBase::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status BaselineDbBase::Write(const WriteOptions& options, WriteBatch* updates) {
+  return WriteLocked(options, updates);
+}
+
+// LevelDB's single-writer queue with group commit: every writer enqueues
+// and blocks; the queue head makes room, claims sequence numbers, applies
+// the batch (and any batches grouped behind it) outside the mutex, then
+// wakes the group. This is the "single synchronization point" whose
+// contention the paper measures (§5.1: throughput decreases as threads
+// contend for the writers queue).
+Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* updates) {
+  Writer w(updates, options.sync || engine_.options().sync_logging);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(lock);
+  }
+  if (w.done) {
+    return w.status;
+  }
+
+  Status status = MakeRoomForWrite(lock);
+  Writer* last_writer = &w;
+  std::vector<Writer*> group;
+  if (status.ok()) {
+    // Group the queue's current contents into one logical write.
+    size_t size = 0;
+    for (Writer* candidate : writers_) {
+      group.push_back(candidate);
+      size += candidate->batch->ApproximateSize();
+      last_writer = candidate;
+      if (size > 1 << 20) {
+        break;
+      }
+    }
+
+    MemTable* mem = mem_.load(std::memory_order_acquire);
+    AsyncLogger* logger = logger_.load(std::memory_order_acquire);
+    const bool use_wal = !engine_.options().disable_wal;
+
+    lock.unlock();
+    // Single writer beyond this point (queue heads are serialized).
+    bool any_sync = false;
+    SequenceNumber seq = last_sequence_.load(std::memory_order_relaxed);
+    for (Writer* member : group) {
+      any_sync = any_sync || member->sync;
+      // One WAL record per member batch: each user batch recovers
+      // all-or-nothing.
+      std::string record;
+      for (const WriteBatch::Op& op : member->batch->ops()) {
+        ++seq;
+        mem->Add(seq, op.type, op.key, op.value);
+        if (use_wal) {
+          EncodeWalRecord(&record, seq, op.type, op.key, op.value);
+        }
+      }
+      if (use_wal && !record.empty()) {
+        logger->AddRecordAsync(std::move(record));
+      }
+    }
+    // Publish once, after every entry of every batch in the group is in the
+    // memtable: a snapshot taken mid-group reads at the old sequence and can
+    // never observe a torn batch.
+    last_sequence_.store(seq, std::memory_order_release);
+    if (use_wal && any_sync) {
+      status = logger->AddRecordSync(std::string());
+    }
+    lock.lock();
+  }
+
+  // Wake the whole group.
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) {
+      break;
+    }
+  }
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  }
+  return status;
+}
+
+void BaselineDbBase::SlowdownWait(std::unique_lock<std::mutex>& lock) {
+  // LevelDB's 1ms write-delay once the slowdown trigger is reached.
+  lock.unlock();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  lock.lock();
+}
+
+Status BaselineDbBase::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+  bool allow_delay = true;
+  while (true) {
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+    if (allow_delay &&
+        engine_.NumLevelFiles(0) >= engine_.options().l0_slowdown_trigger) {
+      allow_delay = false;
+      SlowdownWait(lock);
+      continue;
+    }
+    MemTable* mem = mem_.load(std::memory_order_acquire);
+    if (mem->ApproximateMemoryUsage() < engine_.options().write_buffer_size) {
+      return Status::OK();
+    }
+    if (imm_exists_.load(std::memory_order_acquire)) {
+      // Previous memtable still being flushed: the single-writer stalls.
+      maintenance_cv_.notify_one();
+      work_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+    if (engine_.NumLevelFiles(0) >= engine_.options().l0_stop_trigger) {
+      maintenance_cv_.notify_one();
+      work_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+    RollMemTableLocked();
+    maintenance_cv_.notify_one();
+  }
+}
+
+void BaselineDbBase::RollMemTableLocked() {
+  std::unique_ptr<AsyncLogger> fresh_logger;
+  uint64_t fresh_log = 0;
+  if (!engine_.options().disable_wal) {
+    Status s = engine_.NewLog(&fresh_log, &fresh_logger);
+    if (!s.ok()) {
+      if (bg_error_.ok()) {
+        bg_error_ = s;
+      }
+      return;
+    }
+  } else {
+    fresh_log = engine_.versions()->NewFileNumber();
+  }
+
+  MemTable* old_mem = mem_.load(std::memory_order_relaxed);
+  imm_.store(old_mem, std::memory_order_release);
+  mem_.store(new MemTable(*engine_.icmp()), std::memory_order_release);
+  AsyncLogger* old_logger = logger_.exchange(fresh_logger.release(), std::memory_order_acq_rel);
+  imm_logger_.reset(old_logger);
+  log_number_ = fresh_log;
+  imm_exists_.store(true, std::memory_order_release);
+}
+
+void BaselineDbBase::FlushImmutable() {
+  MemTable* imm = imm_.load(std::memory_order_acquire);
+  assert(imm != nullptr);
+  imm_logger_.reset();  // drain + sync the retired WAL
+
+  // Persist the sequence counter with the flush edit (see ClsmDb note).
+  engine_.versions()->SetLastSequence(
+      std::max(engine_.versions()->LastSequence(), last_sequence_.load()));
+  Status s = engine_.FlushMemTable(imm, log_number_);
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (!s.ok()) {
+      if (bg_error_.ok()) {
+        bg_error_ = s;
+      }
+      return;
+    }
+    imm_.store(nullptr, std::memory_order_release);
+    imm_exists_.store(false, std::memory_order_release);
+  }
+  engine_.epochs()->Synchronize();
+  imm->Unref();
+  engine_.RemoveObsoleteFiles(log_number_);
+}
+
+void BaselineDbBase::MaintenanceLoop() {
+  std::mutex loop_mutex;
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    bool need_flush = imm_exists_.load(std::memory_order_acquire);
+    bool need_compact = engine_.NeedsCompaction();
+    if (!need_flush && !need_compact) {
+      std::unique_lock<std::mutex> l(loop_mutex);
+      maintenance_cv_.wait_for(l, std::chrono::milliseconds(2));
+      continue;
+    }
+    if (need_flush) {
+      FlushImmutable();
+    }
+    if (engine_.NeedsCompaction()) {
+      bool did_work = false;
+      Status s = engine_.CompactOnce(SmallestLiveSnapshot(), &did_work);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> l(mutex_);
+        if (bg_error_.ok()) {
+          bg_error_ = s;
+        }
+      }
+    }
+    work_done_cv_.notify_all();
+  }
+}
+
+SequenceNumber BaselineDbBase::SmallestLiveSnapshot() {
+  return snapshots_.OldestTimestamp(last_sequence_.load(std::memory_order_acquire));
+}
+
+void BaselineDbBase::RefComponents(MemTable** mem, MemTable** imm) {
+  if (ReadersTakeMutex()) {
+    // Original LevelDB: the global mutex guards the pointer fetch — reads
+    // block whenever a writer or the merge holds it.
+    std::lock_guard<std::mutex> l(mutex_);
+    *mem = mem_.load(std::memory_order_acquire);
+    (*mem)->Ref();
+    *imm = imm_.load(std::memory_order_acquire);
+    if (*imm != nullptr) {
+      (*imm)->Ref();
+    }
+  } else {
+    // RocksDB-style: readers cache metadata without locks.
+    EpochGuard guard(*engine_.epochs());
+    *mem = mem_.load(std::memory_order_acquire);
+    (*mem)->Ref();
+    *imm = imm_.load(std::memory_order_acquire);
+    if (*imm != nullptr) {
+      (*imm)->Ref();
+    }
+  }
+}
+
+Status BaselineDbBase::GetInternal(const ReadOptions& options, const Slice& key,
+                                   std::string* value, SequenceNumber seq,
+                                   SequenceNumber* seq_found) {
+  LookupKey lkey(key, seq);
+  MemTable* mem;
+  MemTable* imm;
+  RefComponents(&mem, &imm);
+
+  Status s;
+  if (mem->Get(lkey, value, &s, seq_found)) {
+  } else if (imm != nullptr && imm->Get(lkey, value, &s, seq_found)) {
+  } else {
+    s = engine_.Get(options, lkey, value, seq_found);
+  }
+  mem->Unref();
+  if (imm != nullptr) {
+    imm->Unref();
+  }
+  return s;
+}
+
+Status BaselineDbBase::GetLatestLocked(const ReadOptions& options, const Slice& key,
+                                       std::string* value, SequenceNumber* seq_found) {
+  // Caller holds mutex_, so the component pointers are stable and the roll
+  // cannot retire them mid-read; no reference counting needed.
+  LookupKey lkey(key, kMaxSequenceNumber);
+  MemTable* mem = mem_.load(std::memory_order_acquire);
+  MemTable* imm = imm_.load(std::memory_order_acquire);
+  Status s;
+  if (mem->Get(lkey, value, &s, seq_found)) {
+    return s;
+  }
+  if (imm != nullptr && imm->Get(lkey, value, &s, seq_found)) {
+    return s;
+  }
+  return engine_.Get(options, lkey, value, seq_found);
+}
+
+Status BaselineDbBase::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  SequenceNumber seq;
+  if (options.snapshot != nullptr) {
+    seq = static_cast<const SnapshotImpl*>(options.snapshot)->timestamp();
+  } else {
+    seq = last_sequence_.load(std::memory_order_acquire);
+  }
+  return GetInternal(options, key, value, seq, nullptr);
+}
+
+namespace {
+struct IterState {
+  MemTable* mem;
+  MemTable* imm;
+  Version* version;
+};
+
+void CleanupIterState(void* arg1, void* arg2) {
+  IterState* state = reinterpret_cast<IterState*>(arg1);
+  state->mem->Unref();
+  if (state->imm != nullptr) {
+    state->imm->Unref();
+  }
+  if (state->version != nullptr) {
+    state->version->Unref();
+  }
+  delete state;
+}
+}  // namespace
+
+Iterator* BaselineDbBase::NewIterator(const ReadOptions& options) {
+  SequenceNumber seq;
+  if (options.snapshot != nullptr) {
+    seq = static_cast<const SnapshotImpl*>(options.snapshot)->timestamp();
+  } else {
+    seq = last_sequence_.load(std::memory_order_acquire);
+  }
+
+  IterState* state = new IterState{nullptr, nullptr, nullptr};
+  RefComponents(&state->mem, &state->imm);
+  std::vector<Iterator*> children;
+  children.push_back(state->mem->NewIterator());
+  if (state->imm != nullptr) {
+    children.push_back(state->imm->NewIterator());
+  }
+  state->version = engine_.AddVersionIterators(options, &children);
+
+  Iterator* internal =
+      NewMergingIterator(engine_.icmp(), children.data(), static_cast<int>(children.size()));
+  internal->RegisterCleanup(&CleanupIterState, state, nullptr);
+  return NewDBIterator(engine_.icmp()->user_comparator(), internal, seq);
+}
+
+const Snapshot* BaselineDbBase::GetSnapshot() {
+  // LevelDB-style: writes are serialized, so the published last sequence is
+  // itself a consistent cut — no Active-set machinery needed.
+  std::lock_guard<std::mutex> l(mutex_);
+  return snapshots_.New(last_sequence_.load(std::memory_order_acquire));
+}
+
+void BaselineDbBase::ReleaseSnapshot(const Snapshot* snapshot) { snapshots_.Release(snapshot); }
+
+Status BaselineDbBase::ReadModifyWrite(const WriteOptions& options, const Slice& key,
+                                       const RmwFunction& f, bool* performed) {
+  // Coarse default: atomicity via the global mutex (writes are serialized
+  // anyway). The lock-striping variant (Fig 9's baseline) overrides this.
+  if (performed != nullptr) {
+    *performed = false;
+  }
+  std::lock_guard<std::mutex> l(mutex_);
+  std::string current;
+  SequenceNumber seq_found = 0;
+  ReadOptions ro;
+  Status s = GetLatestLocked(ro, key, &current, &seq_found);
+  std::optional<Slice> cur;
+  if (s.ok()) {
+    cur = Slice(current);
+  }
+  std::optional<std::string> next = f(cur);
+  if (!next.has_value()) {
+    return Status::OK();
+  }
+  MemTable* mem = mem_.load(std::memory_order_acquire);
+  SequenceNumber seq = last_sequence_.load(std::memory_order_relaxed) + 1;
+  mem->Add(seq, kTypeValue, key, *next);
+  if (!engine_.options().disable_wal) {
+    std::string record;
+    EncodeWalRecord(&record, seq, kTypeValue, key, *next);
+    logger_.load(std::memory_order_acquire)->AddRecordAsync(std::move(record));
+  }
+  last_sequence_.store(seq, std::memory_order_release);
+  if (performed != nullptr) {
+    *performed = true;
+  }
+  return Status::OK();
+}
+
+std::string BaselineDbBase::GetProperty(const Slice& property) {
+  if (property == Slice("clsm.levels")) {
+    return engine_.versions()->LevelSummary();
+  }
+  if (property == Slice("clsm.last-ts")) {
+    return std::to_string(last_sequence_.load());
+  }
+  if (property == Slice("clsm.bg-error")) {
+    std::lock_guard<std::mutex> l(mutex_);
+    return bg_error_.ToString();
+  }
+  return std::string();
+}
+
+void BaselineDbBase::WaitForMaintenance() {
+  while (true) {
+    MemTable* mem = mem_.load(std::memory_order_acquire);
+    bool busy = imm_exists_.load(std::memory_order_acquire) || engine_.NeedsCompaction() ||
+                (mem != nullptr &&
+                 mem->ApproximateMemoryUsage() >= engine_.options().write_buffer_size);
+    if (!busy) {
+      return;
+    }
+    maintenance_cv_.notify_one();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace clsm

@@ -1,0 +1,114 @@
+// Shared chassis for the competitor concurrency architectures the paper
+// evaluates against (§5): LevelDB, HyperLevelDB, RocksDB and bLSM. All
+// variants run on the same StorageEngine (disk component, caches, merge
+// machinery) as cLSM, so benchmark differences isolate the in-memory
+// synchronization design — the paper's variable under test.
+//
+// The base implements the original LevelDB architecture faithfully:
+//  * a global mutex protects critical sections at the beginning and end of
+//    each read and write;
+//  * writes are funneled through a single-writer queue with group commit;
+//  * snapshots are a bare sequence read under the mutex (no Active set —
+//    safe because writes are serialized).
+// Subclasses override hooks to model each competitor's deviation.
+#ifndef CLSM_BASELINES_BASELINE_DB_H_
+#define CLSM_BASELINES_BASELINE_DB_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/core/db.h"
+#include "src/core/snapshot.h"
+#include "src/core/write_batch.h"
+#include "src/lsm/storage_engine.h"
+
+namespace clsm {
+
+class BaselineDbBase : public DB {
+ public:
+  ~BaselineDbBase() override;
+
+  Status Put(const WriteOptions& options, const Slice& key, const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key, std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status ReadModifyWrite(const WriteOptions& options, const Slice& key, const RmwFunction& f,
+                         bool* performed) override;
+  std::string GetProperty(const Slice& property) override;
+  void WaitForMaintenance() override;
+
+ protected:
+  BaselineDbBase(const Options& options, const std::string& dbname);
+
+  Status Init();
+
+  // --- variant hooks ---
+  // True: readers take the global mutex briefly (LevelDB, HyperLevelDB).
+  // False: readers use epoch-protected pointer loads (RocksDB's thread-
+  // local metadata caching, which avoids locks on the read path).
+  virtual bool ReadersTakeMutex() const { return true; }
+
+  // Called with mutex_ held when level 0 is past the slowdown trigger; the
+  // bLSM variant overrides to bound the stall (its merge scheduler bounds
+  // write blocking).
+  virtual void SlowdownWait(std::unique_lock<std::mutex>& lock);
+
+  // --- shared machinery ---
+  struct Writer {
+    explicit Writer(WriteBatch* b, bool s) : batch(b), sync(s) {}
+    WriteBatch* batch;
+    bool sync;
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
+  Status WriteLocked(const WriteOptions& options, WriteBatch* updates);
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+  virtual void RollMemTableLocked();  // requires mutex_
+  void FlushImmutable();      // maintenance thread
+  void MaintenanceLoop();
+  SequenceNumber SmallestLiveSnapshot();
+  void RefComponents(MemTable** mem, MemTable** imm);
+
+  Status GetInternal(const ReadOptions& options, const Slice& key, std::string* value,
+                     SequenceNumber seq, SequenceNumber* seq_found);
+  // Latest-version lookup with mutex_ already held (RMW read step).
+  Status GetLatestLocked(const ReadOptions& options, const Slice& key, std::string* value,
+                         SequenceNumber* seq_found);
+
+  const std::string dbname_;
+  StorageEngine engine_;
+
+  std::mutex mutex_;  // LevelDB's global lock
+  std::atomic<SequenceNumber> last_sequence_{0};
+
+  std::atomic<MemTable*> mem_{nullptr};
+  std::atomic<MemTable*> imm_{nullptr};
+  std::atomic<AsyncLogger*> logger_{nullptr};
+  uint64_t log_number_ = 0;
+  std::unique_ptr<AsyncLogger> imm_logger_;
+  std::atomic<bool> imm_exists_{false};
+
+  std::deque<Writer*> writers_;  // guarded by mutex_
+
+  SnapshotList snapshots_;
+
+  std::condition_variable maintenance_cv_;
+  std::condition_variable work_done_cv_;
+  std::atomic<bool> shutting_down_{false};
+  Status bg_error_;  // guarded by mutex_
+  std::thread maintenance_thread_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_BASELINES_BASELINE_DB_H_

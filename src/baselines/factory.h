@@ -1,0 +1,35 @@
+// Uniform opener for every DB variant, used by tests, examples and the
+// benchmark harness to run the same workload against all systems.
+#ifndef CLSM_BASELINES_FACTORY_H_
+#define CLSM_BASELINES_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/db.h"
+
+namespace clsm {
+
+enum class DbVariant {
+  kClsm,          // the paper's contribution
+  kLevelDb,       // single-writer, global mutex
+  kHyperLevelDb,  // fine-grained write locking
+  kRocksDb,       // single-writer, lock-free reads
+  kBlsm,          // single-writer, bounded merge stalls
+  kStripedRmw,    // LevelDB + lock-striping RMW baseline
+};
+
+// Human-readable id used in benchmark tables ("clsm", "leveldb", ...).
+const char* VariantName(DbVariant variant);
+
+// Parses a VariantName back; returns false on unknown names.
+bool ParseVariant(const std::string& name, DbVariant* variant);
+
+// All variants, in the order the paper's figures list them.
+std::vector<DbVariant> AllVariants();
+
+Status OpenDb(DbVariant variant, const Options& options, const std::string& dbname, DB** dbptr);
+
+}  // namespace clsm
+
+#endif  // CLSM_BASELINES_FACTORY_H_

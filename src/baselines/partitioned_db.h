@@ -1,0 +1,61 @@
+// PartitionedDb: the "resource-isolated" configuration of paper §2.2 as a
+// first-class wrapper — N independent sub-stores, keys hash-partitioned
+// across them. This is how one scales a single-writer store horizontally
+// on one machine, and it exhibits exactly the drawbacks the paper argues
+// motivate cLSM's consolidation:
+//   * snapshot scans do NOT span partitions atomically (a composite
+//     snapshot is taken partition-by-partition, so cross-partition
+//     invariants can be observed torn);
+//   * resources (write buffers, maintenance pipelines) are statically
+//     split, wasting headroom under skew;
+//   * metadata multiplies with the partition count.
+#ifndef CLSM_BASELINES_PARTITIONED_DB_H_
+#define CLSM_BASELINES_PARTITIONED_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/factory.h"
+#include "src/core/db.h"
+
+namespace clsm {
+
+class PartitionedDb final : public DB {
+ public:
+  // Opens `partitions` sub-stores of `variant` under dbname/partN. The
+  // per-partition write buffer is options.write_buffer_size / partitions
+  // (static resource split, as a real deployment would configure).
+  static Status Open(DbVariant variant, const Options& options, const std::string& dbname,
+                     int partitions, DB** dbptr);
+
+  ~PartitionedDb() override = default;
+
+  Status Put(const WriteOptions& options, const Slice& key, const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key, std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status ReadModifyWrite(const WriteOptions& options, const Slice& key, const RmwFunction& f,
+                         bool* performed) override;
+  const char* Name() const override { return "partitioned"; }
+  std::string GetProperty(const Slice& property) override;
+  void WaitForMaintenance() override;
+
+  int partitions() const { return static_cast<int>(dbs_.size()); }
+
+ private:
+  struct CompositeSnapshot;
+
+  explicit PartitionedDb(std::vector<std::unique_ptr<DB>> dbs) : dbs_(std::move(dbs)) {}
+
+  size_t PartitionFor(const Slice& key) const;
+
+  std::vector<std::unique_ptr<DB>> dbs_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_BASELINES_PARTITIONED_DB_H_

@@ -1,0 +1,33 @@
+#include "src/baselines/baseline_db.h"
+#include "src/baselines/variants.h"
+
+namespace clsm {
+
+namespace {
+
+// The base class *is* the original LevelDB architecture; this variant only
+// names it.
+class LevelStyleDb final : public BaselineDbBase {
+ public:
+  LevelStyleDb(const Options& options, const std::string& dbname)
+      : BaselineDbBase(options, dbname) {}
+
+  const char* Name() const override { return "leveldb"; }
+
+  using BaselineDbBase::Init;
+};
+
+}  // namespace
+
+Status OpenLevelStyleDb(const Options& options, const std::string& dbname, DB** dbptr) {
+  *dbptr = nullptr;
+  auto db = std::make_unique<LevelStyleDb>(options, dbname);
+  Status s = db->Init();
+  if (!s.ok()) {
+    return s;
+  }
+  *dbptr = db.release();
+  return Status::OK();
+}
+
+}  // namespace clsm

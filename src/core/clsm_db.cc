@@ -1,0 +1,663 @@
+#include "src/core/clsm_db.h"
+
+#include <chrono>
+
+#include "src/core/db_iter.h"
+#include "src/table/merging_iterator.h"
+
+namespace clsm {
+
+Status ClsmDb::Open(const Options& options, const std::string& dbname, DB** dbptr) {
+  *dbptr = nullptr;
+  std::unique_ptr<ClsmDb> db(new ClsmDb(options, dbname));
+  Status s = db->Init();
+  if (!s.ok()) {
+    return s;
+  }
+  *dbptr = db.release();
+  return Status::OK();
+}
+
+ClsmDb::ClsmDb(const Options& options, const std::string& dbname)
+    : dbname_(dbname), engine_(options, dbname) {}
+
+Status ClsmDb::Init() {
+  MemTable* recovered = nullptr;
+  SequenceNumber max_seq = 0;
+  Status s = engine_.Open(&recovered, &max_seq);
+  if (!s.ok()) {
+    if (recovered != nullptr) {
+      recovered->Unref();
+    }
+    return s;
+  }
+  time_counter_.AdvanceTo(max_seq);
+  snap_time_.store(0, std::memory_order_relaxed);
+
+  // Fresh WAL for the new mutable memtable.
+  if (!engine_.options().disable_wal) {
+    std::unique_ptr<AsyncLogger> logger;
+    s = engine_.NewLog(&log_number_, &logger);
+    if (!s.ok()) {
+      if (recovered != nullptr) {
+        recovered->Unref();
+      }
+      return s;
+    }
+    logger_.store(logger.release(), std::memory_order_release);
+  } else {
+    log_number_ = engine_.versions()->NewFileNumber();
+  }
+
+  // Publish the recovered timestamp before any manifest edit is written so
+  // the edit records the true last sequence (scans after a future reopen
+  // depend on it).
+  engine_.versions()->SetLastSequence(std::max(engine_.versions()->LastSequence(), max_seq));
+
+  // Flush recovered WAL contents straight to level 0, then retire old logs.
+  if (recovered != nullptr && recovered->NumEntries() > 0) {
+    s = engine_.FlushMemTable(recovered, log_number_);
+  } else {
+    // Still record the fresh log in the manifest so the obsolete-file sweep
+    // below cannot strand CURRENT pointing at a removed manifest.
+    s = engine_.CommitLogRotation(log_number_);
+  }
+  if (recovered != nullptr) {
+    recovered->Unref();
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  engine_.RemoveObsoleteFiles(log_number_, /*include_tables=*/true);
+
+  mem_.store(new MemTable(*engine_.icmp()), std::memory_order_release);
+  maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
+  if (engine_.options().dedicated_flush_thread) {
+    flush_thread_ = std::thread([this] { FlushLoop(); });
+  }
+  return Status::OK();
+}
+
+ClsmDb::~ClsmDb() {
+  shutting_down_.store(true, std::memory_order_release);
+  maintenance_cv_.notify_all();
+  if (maintenance_thread_.joinable()) {
+    maintenance_thread_.join();
+  }
+  if (flush_thread_.joinable()) {
+    flush_thread_.join();
+  }
+
+  // Drain and close the WAL so everything enqueued is recoverable.
+  AsyncLogger* logger = logger_.exchange(nullptr, std::memory_order_acq_rel);
+  delete logger;  // dtor drains, syncs and closes
+  imm_logger_.reset();
+
+  MemTable* imm = imm_.exchange(nullptr, std::memory_order_acq_rel);
+  if (imm != nullptr) {
+    imm->Unref();
+  }
+  MemTable* mem = mem_.exchange(nullptr, std::memory_order_acq_rel);
+  if (mem != nullptr) {
+    mem->Unref();
+  }
+}
+
+SequenceNumber ClsmDb::GetTS() {
+  // Algorithm 2, getTS: the rollback closes the Figure-4 race — if a
+  // concurrent getSnap already chose a snapshot time at or after our
+  // timestamp, writing at this timestamp could make the snapshot
+  // inconsistent, so discard it and draw a fresh (larger) one.
+  while (true) {
+    SequenceNumber ts = time_counter_.IncAndGet();
+    active_.Add(ts);
+    if (ts <= snap_time_.load(std::memory_order_seq_cst)) {
+      active_.Remove(ts);
+      stats_.Bump(stats_.getts_rollbacks);
+    } else {
+      return ts;
+    }
+  }
+}
+
+SequenceNumber ClsmDb::AcquireScanTimestamp() {
+  // Algorithm 2, getSnap lines 9-14.
+  SequenceNumber ts = time_counter_.Get();
+  if (!engine_.options().linearizable_snapshots) {
+    uint64_t tsa = active_.FindMin();
+    if (tsa != ActiveTimestampSet::kNone) {
+      // Exclude all in-flight puts: their writes may not be visible yet
+      // (Figure 3), so the snapshot must predate them.
+      ts = tsa - 1;
+    }
+  }
+  // Linearizable mode omits the adjustment (§3.2.1): the snapshot time is
+  // at least the counter value at the start of the call, and the wait loop
+  // below rides out in-flight puts below it (they either complete or
+  // roll back in getTS).
+  // Atomically advance snapTime (never backward; concurrent getSnaps race).
+  uint64_t cur = snap_time_.load(std::memory_order_seq_cst);
+  while (cur < ts && !snap_time_.compare_exchange_weak(cur, ts, std::memory_order_seq_cst)) {
+  }
+  // Wait until every active put with a timestamp at or below snapTime
+  // completes: after this loop all writes the snapshot includes (ts <=
+  // snapTime) are visible. In serializable mode no active timestamp can
+  // equal snapTime (it was chosen below the Active minimum), so this is the
+  // paper's "findMin() < snapTime" wait; in linearizable mode the <= matters
+  // — a put in flight at exactly snapTime is part of the snapshot.
+  while (true) {
+    uint64_t min_active = active_.FindMin();
+    if (min_active == ActiveTimestampSet::kNone ||
+        min_active > snap_time_.load(std::memory_order_seq_cst)) {
+      break;
+    }
+  }
+  return snap_time_.load(std::memory_order_seq_cst);
+}
+
+Status ClsmDb::ThrottleIfNeeded() {
+  // cLSM never blocks puts in normal operation; the only wait is when Cm is
+  // full while C'm is still being merged (heavy-compaction mode, §5.3), or
+  // when level 0 has grown past the stop trigger.
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    MemTable* m = mem_.load(std::memory_order_acquire);
+    const bool mem_full = m->ApproximateMemoryUsage() >= engine_.options().write_buffer_size;
+    const bool l0_stuffed = engine_.NumLevelFiles(0) >= engine_.options().l0_stop_trigger;
+    if ((mem_full && imm_exists_.load(std::memory_order_acquire)) || l0_stuffed) {
+      stats_.Bump(stats_.throttle_waits);
+      std::unique_lock<std::mutex> l(maintenance_mutex_);
+      if (!bg_error_.ok()) {
+        // Maintenance cannot drain the pipeline; waiting would stall
+        // writers forever. Latch the error out to the caller (as LevelDB
+        // does), cleared only by reopening the store.
+        return bg_error_;
+      }
+      maintenance_cv_.notify_one();
+      work_done_cv_.wait_for(l, std::chrono::milliseconds(1));
+      continue;
+    }
+    if (mem_full) {
+      // Ask the maintenance thread to roll; no need to wait.
+      maintenance_cv_.notify_one();
+    }
+    break;
+  }
+  return Status::OK();
+}
+
+Status ClsmDb::PutInternal(const WriteOptions& options, ValueType type, const Slice& key,
+                           const Slice& value) {
+  stats_.Bump(type == kTypeValue ? stats_.puts_total : stats_.deletes_total);
+  Status throttle_status = ThrottleIfNeeded();
+  if (!throttle_status.ok()) {
+    return throttle_status;
+  }
+
+  // Algorithm 2, put.
+  lock_.LockShared();
+  SequenceNumber ts = GetTS();
+  MemTable* mem = mem_.load(std::memory_order_acquire);
+  mem->Add(ts, type, key, value);
+  if (!engine_.options().disable_wal) {
+    std::string record;
+    EncodeWalRecord(&record, ts, type, key, value);
+    AsyncLogger* logger = logger_.load(std::memory_order_acquire);
+    if (options.sync || engine_.options().sync_logging) {
+      Status s = logger->AddRecordSync(std::move(record));
+      if (!s.ok()) {
+        active_.Remove(ts);
+        lock_.UnlockShared();
+        return s;
+      }
+    } else {
+      logger->AddRecordAsync(std::move(record));
+    }
+  }
+  active_.Remove(ts);
+  lock_.UnlockShared();
+  return Status::OK();
+}
+
+Status ClsmDb::Put(const WriteOptions& options, const Slice& key, const Slice& value) {
+  return PutInternal(options, kTypeValue, key, value);
+}
+
+Status ClsmDb::Delete(const WriteOptions& options, const Slice& key) {
+  return PutInternal(options, kTypeDeletion, key, Slice());
+}
+
+Status ClsmDb::Write(const WriteOptions& options, WriteBatch* updates) {
+  stats_.Bump(stats_.batches_total);
+  Status throttle_status = ThrottleIfNeeded();
+  if (!throttle_status.ok()) {
+    return throttle_status;
+  }
+
+  // Batches synchronize coarsely: exclusive mode excludes all puts and the
+  // merge hooks, making the batch atomic with respect to snapshots (§4).
+  lock_.LockExclusive();
+  MemTable* mem = mem_.load(std::memory_order_acquire);
+  AsyncLogger* logger = logger_.load(std::memory_order_acquire);
+  SequenceNumber last_ts = 0;
+  // The whole batch becomes one WAL record, so recovery replays it
+  // all-or-nothing even if the crash tears the log tail.
+  std::string record;
+  for (const WriteBatch::Op& op : updates->ops()) {
+    last_ts = time_counter_.IncAndGet();
+    mem->Add(last_ts, op.type, op.key, op.value);
+    if (!engine_.options().disable_wal) {
+      EncodeWalRecord(&record, last_ts, op.type, op.key, op.value);
+    }
+  }
+  Status s;
+  if (!engine_.options().disable_wal && !record.empty()) {
+    if (options.sync || engine_.options().sync_logging) {
+      s = logger->AddRecordSync(std::move(record));
+    } else {
+      logger->AddRecordAsync(std::move(record));
+    }
+  }
+  lock_.UnlockExclusive();
+  return s;
+}
+
+Status ClsmDb::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  SequenceNumber seq = kMaxSequenceNumber;
+  if (options.snapshot != nullptr) {
+    seq = static_cast<const SnapshotImpl*>(options.snapshot)->timestamp();
+  }
+  LookupKey lkey(key, seq);
+
+  // Algorithm 1, get: read the component pointers without any blocking.
+  // The epoch guard covers only the pointer loads + refcount bumps; the
+  // (potentially disk-bound) searches run outside any critical section.
+  MemTable* mem;
+  MemTable* imm;
+  {
+    EpochGuard guard(*engine_.epochs());
+    mem = mem_.load(std::memory_order_acquire);
+    mem->Ref();
+    imm = imm_.load(std::memory_order_acquire);
+    if (imm != nullptr) {
+      imm->Ref();
+    }
+  }
+
+  stats_.Bump(stats_.gets_total);
+  Status s;
+  if (mem->Get(lkey, value, &s)) {
+    stats_.Bump(stats_.gets_from_mem);
+  } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+    stats_.Bump(stats_.gets_from_imm);
+  } else {
+    s = engine_.Get(options, lkey, value);
+    stats_.Bump(stats_.gets_from_disk);
+  }
+
+  mem->Unref();
+  if (imm != nullptr) {
+    imm->Unref();
+  }
+  return s;
+}
+
+namespace {
+struct IterState {
+  MemTable* mem;
+  MemTable* imm;
+  Version* version;
+};
+
+void CleanupIterState(void* arg1, void* arg2) {
+  IterState* state = reinterpret_cast<IterState*>(arg1);
+  state->mem->Unref();
+  if (state->imm != nullptr) {
+    state->imm->Unref();
+  }
+  if (state->version != nullptr) {
+    state->version->Unref();
+  }
+  delete state;
+}
+}  // namespace
+
+Iterator* ClsmDb::NewIterator(const ReadOptions& options) {
+  stats_.Bump(stats_.iterators_created);
+  SequenceNumber seq;
+  if (options.snapshot != nullptr) {
+    seq = static_cast<const SnapshotImpl*>(options.snapshot)->timestamp();
+  } else {
+    // Fresh serializable snapshot (not installed: the iterator protects its
+    // own data by pinning the components; installation is only needed for
+    // handles that outlive this call — see GetSnapshot). Acquired under the
+    // shared lock, like getSnap, so the timestamp cannot land in the middle
+    // of an exclusive-mode atomic batch.
+    lock_.LockShared();
+    seq = AcquireScanTimestamp();
+    lock_.UnlockShared();
+  }
+
+  IterState* state = new IterState{nullptr, nullptr, nullptr};
+  std::vector<Iterator*> children;
+  {
+    EpochGuard guard(*engine_.epochs());
+    state->mem = mem_.load(std::memory_order_acquire);
+    state->mem->Ref();
+    state->imm = imm_.load(std::memory_order_acquire);
+    if (state->imm != nullptr) {
+      state->imm->Ref();
+    }
+  }
+  children.push_back(state->mem->NewIterator());
+  if (state->imm != nullptr) {
+    children.push_back(state->imm->NewIterator());
+  }
+  state->version = engine_.AddVersionIterators(options, &children);
+
+  Iterator* internal =
+      NewMergingIterator(engine_.icmp(), children.data(), static_cast<int>(children.size()));
+  internal->RegisterCleanup(&CleanupIterState, state, nullptr);
+  return NewDBIterator(engine_.icmp()->user_comparator(), internal, seq);
+}
+
+const Snapshot* ClsmDb::GetSnapshot() {
+  // Algorithm 2, getSnap. The shared lock excludes the beforeMerge hook, so
+  // installing the handle cannot race with the merge observing the list.
+  stats_.Bump(stats_.snapshots_acquired);
+  lock_.LockShared();
+  SequenceNumber ts = AcquireScanTimestamp();
+  const Snapshot* s = snapshots_.New(ts);
+  lock_.UnlockShared();
+  return s;
+}
+
+void ClsmDb::ReleaseSnapshot(const Snapshot* snapshot) { snapshots_.Release(snapshot); }
+
+bool ClsmDb::GetLatest(const Slice& key, std::string* value, ValueType* type,
+                       SequenceNumber* seq) {
+  // Caller holds the shared lock, so Pm/P'm are stable — no epoch needed.
+  LookupKey lkey(key, kMaxSequenceNumber);
+  Status s;
+  *seq = 0;
+  MemTable* mem = mem_.load(std::memory_order_acquire);
+  if (mem->Get(lkey, value, &s, seq)) {
+    *type = s.ok() ? kTypeValue : kTypeDeletion;
+    return true;
+  }
+  MemTable* imm = imm_.load(std::memory_order_acquire);
+  if (imm != nullptr && imm->Get(lkey, value, &s, seq)) {
+    *type = s.ok() ? kTypeValue : kTypeDeletion;
+    return true;
+  }
+  ReadOptions ro;
+  s = engine_.Get(ro, lkey, value, seq);
+  if (s.ok()) {
+    *type = kTypeValue;
+    return true;
+  }
+  if (s.IsNotFound() && *seq != 0) {
+    *type = kTypeDeletion;
+    return true;
+  }
+  return false;
+}
+
+Status ClsmDb::ReadModifyWrite(const WriteOptions& options, const Slice& key,
+                               const RmwFunction& f, bool* performed) {
+  if (performed != nullptr) {
+    *performed = false;
+  }
+  stats_.Bump(stats_.rmw_total);
+  Status throttle_status = ThrottleIfNeeded();
+  if (!throttle_status.ok()) {
+    return throttle_status;
+  }
+
+  // Algorithm 3: optimistic concurrency control. Holding the lock in shared
+  // mode keeps the component pointers stable for the whole read-validate-
+  // write attempt; conflicts with other writers are detected at the skip
+  // list's bottom level and resolved by restarting with a fresh timestamp.
+  lock_.LockShared();
+  Status result;
+  while (true) {
+    std::string current;
+    ValueType type = kTypeDeletion;
+    SequenceNumber ts_read = 0;
+    const bool found = GetLatest(key, &current, &type, &ts_read);
+
+    std::optional<Slice> current_opt;
+    if (found && type == kTypeValue) {
+      current_opt = Slice(current);
+    }
+    std::optional<std::string> next = f(current_opt);
+    if (!next.has_value()) {
+      // User chose not to write; linearizes at the read.
+      stats_.Bump(stats_.rmw_noop);
+      break;
+    }
+
+    SequenceNumber tsn = GetTS();
+    MemTable* mem = mem_.load(std::memory_order_acquire);
+    if (mem->AddIfNoConflict(tsn, kTypeValue, key, *next, ts_read)) {
+      if (!engine_.options().disable_wal) {
+        std::string record;
+        EncodeWalRecord(&record, tsn, kTypeValue, key, *next);
+        AsyncLogger* logger = logger_.load(std::memory_order_acquire);
+        if (options.sync || engine_.options().sync_logging) {
+          result = logger->AddRecordSync(std::move(record));
+        } else {
+          logger->AddRecordAsync(std::move(record));
+        }
+      }
+      active_.Remove(tsn);
+      if (performed != nullptr) {
+        *performed = true;
+      }
+      break;
+    }
+    // Conflict (Algorithm 3 lines 6/8/12): some concurrent operation
+    // interfered between our read and our update. Retry; each retry implies
+    // another operation made progress, preserving lock-freedom.
+    stats_.Bump(stats_.rmw_conflicts);
+    active_.Remove(tsn);
+  }
+  lock_.UnlockShared();
+  return result;
+}
+
+SequenceNumber ClsmDb::SmallestLiveSnapshot() {
+  // Obsolete-version GC bound (§3.2.1): versions at or below the oldest
+  // installed snapshot that are shadowed by newer ones may be discarded.
+  return snapshots_.OldestTimestamp(time_counter_.Get());
+}
+
+void ClsmDb::RollMemTable() {
+  // beforeMerge (Algorithm 1/2): prepare the new component and WAL outside
+  // the exclusive section so puts are blocked only for the pointer swaps.
+  std::unique_ptr<AsyncLogger> fresh_logger;
+  uint64_t fresh_log = 0;
+  if (!engine_.options().disable_wal) {
+    Status s = engine_.NewLog(&fresh_log, &fresh_logger);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> l(maintenance_mutex_);
+      if (bg_error_.ok()) {
+        bg_error_ = s;
+      }
+      return;
+    }
+  } else {
+    fresh_log = engine_.versions()->NewFileNumber();
+  }
+  MemTable* fresh_mem = new MemTable(*engine_.icmp());
+
+  stats_.Bump(stats_.memtable_rolls);
+  lock_.LockExclusive();
+  MemTable* old_mem = mem_.load(std::memory_order_relaxed);
+  imm_.store(old_mem, std::memory_order_release);   // P'm <- Pm
+  mem_.store(fresh_mem, std::memory_order_release); // Pm <- new component
+  AsyncLogger* old_logger = logger_.exchange(fresh_logger.release(), std::memory_order_acq_rel);
+  imm_log_number_ = log_number_;
+  log_number_ = fresh_log;
+  imm_exists_.store(true, std::memory_order_release);
+  lock_.UnlockExclusive();
+
+  imm_logger_.reset(old_logger);
+}
+
+void ClsmDb::FlushImmutable() {
+  MemTable* imm = imm_.load(std::memory_order_acquire);
+  assert(imm != nullptr);
+  stats_.Bump(stats_.flushes);
+
+  // The flush edit persists the current timestamp counter: recovery
+  // restores it as max(manifest last-sequence, replayed WAL timestamps).
+  engine_.versions()->SetLastSequence(
+      std::max(engine_.versions()->LastSequence(), time_counter_.Get()));
+
+  // Every record of the immutable component must be durably in its WAL
+  // before the table build starts: destroying the logger drains its queue,
+  // syncs and closes the file.
+  imm_logger_.reset();
+
+  Status s = engine_.FlushMemTable(imm, log_number_);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> l(maintenance_mutex_);
+    if (bg_error_.ok()) {
+      bg_error_ = s;
+    }
+    return;
+  }
+
+  // afterMerge: Pd was already switched by the version install inside
+  // FlushMemTable; now clear P'm and retire the old component once all
+  // concurrent readers are done with it.
+  lock_.LockExclusive();
+  imm_.store(nullptr, std::memory_order_release);
+  imm_exists_.store(false, std::memory_order_release);
+  lock_.UnlockExclusive();
+
+  engine_.epochs()->Synchronize();
+  imm->Unref();
+
+  engine_.RemoveObsoleteFiles(log_number_);
+}
+
+void ClsmDb::MaintenanceLoop() {
+  const bool handles_flushes = !engine_.options().dedicated_flush_thread;
+  while (true) {
+    bool need_roll = false;
+    bool need_flush = false;
+    bool need_compact = false;
+    {
+      std::unique_lock<std::mutex> l(maintenance_mutex_);
+      while (!shutting_down_.load(std::memory_order_acquire)) {
+        if (handles_flushes) {
+          MemTable* mem = mem_.load(std::memory_order_acquire);
+          need_flush = imm_exists_.load(std::memory_order_acquire);
+          need_roll = !need_flush && mem != nullptr &&
+                      mem->ApproximateMemoryUsage() >= engine_.options().write_buffer_size;
+        }
+        need_compact = engine_.NeedsCompaction();
+        if (need_roll || need_flush || need_compact) {
+          break;
+        }
+        maintenance_cv_.wait_for(l, std::chrono::milliseconds(2));
+      }
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      // Final drain: flush nothing (WAL provides durability), just exit.
+      return;
+    }
+
+    if (handles_flushes) {
+      if (need_roll) {
+        RollMemTable();
+      }
+      if (imm_exists_.load(std::memory_order_acquire)) {
+        FlushImmutable();
+      }
+    }
+    if (engine_.NeedsCompaction()) {
+      stats_.Bump(stats_.compactions);
+      bool did_work = false;
+      Status s = engine_.CompactOnce(SmallestLiveSnapshot(), &did_work);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> l(maintenance_mutex_);
+        if (bg_error_.ok()) {
+          bg_error_ = s;
+        }
+      }
+    }
+    work_done_cv_.notify_all();
+  }
+}
+
+void ClsmDb::FlushLoop() {
+  // Dedicated flush thread (§5.3's reserved-thread configuration): rolls
+  // and flushes never queue behind long compactions. Version-set mutation
+  // stays serialized because LogAndApply itself is internally locked.
+  while (true) {
+    bool need_roll = false;
+    bool need_flush = false;
+    {
+      std::unique_lock<std::mutex> l(maintenance_mutex_);
+      while (!shutting_down_.load(std::memory_order_acquire)) {
+        MemTable* mem = mem_.load(std::memory_order_acquire);
+        need_flush = imm_exists_.load(std::memory_order_acquire);
+        need_roll = !need_flush && mem != nullptr &&
+                    mem->ApproximateMemoryUsage() >= engine_.options().write_buffer_size;
+        if (need_roll || need_flush) {
+          break;
+        }
+        maintenance_cv_.wait_for(l, std::chrono::milliseconds(2));
+      }
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (need_roll) {
+      RollMemTable();
+    }
+    if (imm_exists_.load(std::memory_order_acquire)) {
+      FlushImmutable();
+    }
+    work_done_cv_.notify_all();
+  }
+}
+
+void ClsmDb::WaitForMaintenance() {
+  while (true) {
+    MemTable* mem = mem_.load(std::memory_order_acquire);
+    bool busy = imm_exists_.load(std::memory_order_acquire) || engine_.NeedsCompaction() ||
+                (mem != nullptr &&
+                 mem->ApproximateMemoryUsage() >= engine_.options().write_buffer_size);
+    if (!busy) {
+      return;
+    }
+    std::unique_lock<std::mutex> l(maintenance_mutex_);
+    if (!bg_error_.ok()) {
+      return;  // maintenance is wedged; nothing further to wait for
+    }
+    maintenance_cv_.notify_one();
+    work_done_cv_.wait_for(l, std::chrono::milliseconds(1));
+  }
+}
+
+std::string ClsmDb::GetProperty(const Slice& property) {
+  if (property == Slice("clsm.levels")) {
+    return engine_.versions()->LevelSummary();
+  }
+  if (property == Slice("clsm.mem-usage")) {
+    MemTable* mem = mem_.load(std::memory_order_acquire);
+    return std::to_string(mem != nullptr ? mem->ApproximateMemoryUsage() : 0);
+  }
+  if (property == Slice("clsm.last-ts")) {
+    return std::to_string(time_counter_.Get());
+  }
+  if (property == Slice("clsm.stats")) {
+    return stats_.ToString();
+  }
+  return std::string();
+}
+
+}  // namespace clsm

@@ -1,0 +1,135 @@
+// ClsmDb — the paper's contribution (§3): scalable concurrency for an
+// LSM data store.
+//
+//  * Gets never block: component pointers (Pm, P'm, Pd) are read under
+//    epoch protection with per-component refcounts (§3.1).
+//  * Puts run concurrently and lock-free against each other; they hold the
+//    shared-exclusive lock in shared mode only to exclude the brief
+//    beforeMerge/afterMerge pointer swaps (Algorithm 1).
+//  * Snapshot scans are serializable multi-version reads driven by the
+//    timeCounter / Active-set / snapTime protocol (Algorithm 2).
+//  * Read-modify-write is atomic and non-blocking via optimistic CAS
+//    insertion into the skip-list bottom level (Algorithm 3).
+#ifndef CLSM_CORE_CLSM_DB_H_
+#define CLSM_CORE_CLSM_DB_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/core/db.h"
+#include "src/core/snapshot.h"
+#include "src/core/stats.h"
+#include "src/core/write_batch.h"
+#include "src/lsm/storage_engine.h"
+#include "src/sync/active_set.h"
+#include "src/sync/shared_exclusive_lock.h"
+#include "src/sync/time_counter.h"
+
+namespace clsm {
+
+class ClsmDb final : public DB {
+ public:
+  // Opens (creating or recovering) the store at dbname.
+  static Status Open(const Options& options, const std::string& dbname, DB** dbptr);
+
+  ClsmDb(const ClsmDb&) = delete;
+  ClsmDb& operator=(const ClsmDb&) = delete;
+
+  ~ClsmDb() override;
+
+  Status Put(const WriteOptions& options, const Slice& key, const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key, std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status ReadModifyWrite(const WriteOptions& options, const Slice& key, const RmwFunction& f,
+                         bool* performed) override;
+  const char* Name() const override { return "clsm"; }
+  std::string GetProperty(const Slice& property) override;
+  void WaitForMaintenance() override;
+
+  // Exposed for tests: the timestamp a fresh serializable scan would use.
+  SequenceNumber AcquireScanTimestampForTest() { return AcquireScanTimestamp(); }
+
+ private:
+  ClsmDb(const Options& options, const std::string& dbname);
+
+  Status Init();
+
+  // Algorithm 2, getTS: acquire a fresh put timestamp, registered in the
+  // Active set, retrying while it would invalidate a concurrent snapshot.
+  SequenceNumber GetTS();
+
+  // Algorithm 2 lines 9-14 (without installing a handle): pick a
+  // serializable snapshot timestamp. With Options::linearizable_snapshots
+  // the Active-set adjustment is omitted (§3.2.1), so the returned time is
+  // never in the past of the call.
+  SequenceNumber AcquireScanTimestamp();
+
+  Status PutInternal(const WriteOptions& options, ValueType type, const Slice& key,
+                     const Slice& value);
+
+  // Latest value/timestamp of key across Pm, P'm, Pd (RMW read step).
+  // Returns true if some version exists; fills *value (valid only for
+  // kTypeValue), *type and *seq.
+  bool GetLatest(const Slice& key, std::string* value, ValueType* type, SequenceNumber* seq);
+
+  // Backpressure: wait while Cm is full but C'm has not finished merging
+  // (the only situation in which cLSM delays puts, §5.3). Returns the
+  // latched background error, if any, so writers fail fast instead of
+  // stalling behind a maintenance pipeline that cannot make progress.
+  Status ThrottleIfNeeded();
+
+  // Maintenance thread: rolls memtables (beforeMerge), flushes (merge),
+  // swaps pointers (afterMerge) and runs compactions. With
+  // Options::dedicated_flush_thread, rolls+flushes run on their own thread
+  // and this loop only compacts (§5.3's reserved-flush-thread setup).
+  void MaintenanceLoop();
+  void FlushLoop();
+  void RollMemTable();   // beforeMerge
+  void FlushImmutable(); // merge + afterMerge
+  SequenceNumber SmallestLiveSnapshot();
+
+  const std::string dbname_;
+  StorageEngine engine_;
+
+  // --- cLSM synchronization state ---
+  SharedExclusiveLock lock_;       // "Lock" of Algorithms 1-3
+  TimeCounter time_counter_;       // global timestamp source
+  ActiveTimestampSet active_;      // in-flight put timestamps
+  std::atomic<uint64_t> snap_time_{0};  // latest chosen snapshot timestamp
+  SnapshotList snapshots_;         // installed snapshot handles
+
+  // Component pointers (Figure 2b). Swapped only under the exclusive lock;
+  // read under epoch protection.
+  std::atomic<MemTable*> mem_{nullptr};   // Pm
+  std::atomic<MemTable*> imm_{nullptr};   // P'm
+
+  // WAL: swapped together with the memtable under the exclusive lock.
+  std::atomic<AsyncLogger*> logger_{nullptr};
+  uint64_t log_number_ = 0;       // current WAL number (maintenance thread)
+  uint64_t imm_log_number_ = 0;   // WAL number backing imm_
+  std::unique_ptr<AsyncLogger> imm_logger_;  // retired logger draining to disk
+
+  // Maintenance thread machinery.
+  std::mutex maintenance_mutex_;
+  std::condition_variable maintenance_cv_;
+  std::condition_variable work_done_cv_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> imm_exists_{false};  // fast-path view of imm_ != null
+  Status bg_error_;
+  std::thread maintenance_thread_;
+  std::thread flush_thread_;  // only with Options::dedicated_flush_thread
+
+  DbStats stats_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_CORE_CLSM_DB_H_

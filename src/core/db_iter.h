@@ -1,0 +1,20 @@
+// User-facing iterator: turns a merged internal-key iterator (memtables +
+// disk version) into a snapshot view — for each user key, the newest
+// version with timestamp <= the snapshot timestamp; deletion markers hide
+// older versions (the next-operation filtering of §3.2.1).
+#ifndef CLSM_CORE_DB_ITER_H_
+#define CLSM_CORE_DB_ITER_H_
+
+#include "src/lsm/dbformat.h"
+#include "src/table/iterator.h"
+
+namespace clsm {
+
+// Takes ownership of internal_iter. The returned iterator yields user keys
+// and values as of `sequence`.
+Iterator* NewDBIterator(const Comparator* user_comparator, Iterator* internal_iter,
+                        SequenceNumber sequence);
+
+}  // namespace clsm
+
+#endif  // CLSM_CORE_DB_ITER_H_

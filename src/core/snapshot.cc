@@ -1,0 +1,5 @@
+#include "src/core/snapshot.h"
+
+// SnapshotList is header-only; this translation unit anchors the vtable of
+// SnapshotImpl.
+namespace clsm {}  // namespace clsm

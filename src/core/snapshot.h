@@ -1,0 +1,95 @@
+// Snapshot handles and the active-snapshot list (paper §3.2.1). A snapshot
+// is just a timestamp; the list lets the merge process compute the maximal
+// timestamp below which obsolete versions may be discarded.
+#ifndef CLSM_CORE_SNAPSHOT_H_
+#define CLSM_CORE_SNAPSHOT_H_
+
+#include <cassert>
+#include <mutex>
+
+#include "src/core/db.h"
+#include "src/lsm/dbformat.h"
+
+namespace clsm {
+
+class SnapshotList;
+
+class SnapshotImpl final : public Snapshot {
+ public:
+  explicit SnapshotImpl(SequenceNumber ts) : ts_(ts) {}
+
+  SequenceNumber timestamp() const { return ts_; }
+
+ private:
+  friend class SnapshotList;
+  ~SnapshotImpl() override = default;
+
+  const SequenceNumber ts_;
+  SnapshotImpl* prev_ = nullptr;
+  SnapshotImpl* next_ = nullptr;
+};
+
+// Doubly-linked list of installed snapshots, oldest first. Internally
+// synchronized: getSnap installs under the DB's shared lock, beforeMerge
+// queries under the exclusive lock, so the list itself still needs its own
+// (tiny) mutex to serialize concurrent getSnap calls.
+class SnapshotList {
+ public:
+  SnapshotList() {
+    head_.prev_ = &head_;
+    head_.next_ = &head_;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> l(mutex_);
+    return head_.next_ == &head_;
+  }
+
+  // Oldest installed timestamp; fallback if none installed.
+  SequenceNumber OldestTimestamp(SequenceNumber fallback) const {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (head_.next_ == &head_) {
+      return fallback;
+    }
+    return head_.next_->ts_;
+  }
+
+  const SnapshotImpl* New(SequenceNumber ts) {
+    std::lock_guard<std::mutex> l(mutex_);
+    // Timestamps are monotone, so appending at the tail keeps order.
+    SnapshotImpl* s = new SnapshotImpl(ts);
+    s->next_ = &head_;
+    s->prev_ = head_.prev_;
+    s->prev_->next_ = s;
+    s->next_->prev_ = s;
+    return s;
+  }
+
+  void Release(const Snapshot* snapshot) {
+    std::lock_guard<std::mutex> l(mutex_);
+    const SnapshotImpl* s = static_cast<const SnapshotImpl*>(snapshot);
+    SnapshotImpl* mutable_s = const_cast<SnapshotImpl*>(s);
+    mutable_s->prev_->next_ = mutable_s->next_;
+    mutable_s->next_->prev_ = mutable_s->prev_;
+    delete mutable_s;
+  }
+
+  ~SnapshotList() {
+    // Unreleased snapshots are a caller bug, but do not leak them.
+    std::lock_guard<std::mutex> l(mutex_);
+    SnapshotImpl* s = head_.next_;
+    while (s != &head_) {
+      SnapshotImpl* next = s->next_;
+      delete s;
+      s = next;
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  SnapshotImpl head_{0};
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_CORE_SNAPSHOT_H_

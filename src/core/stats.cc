@@ -1,0 +1,36 @@
+#include "src/core/stats.h"
+
+#include <cstdio>
+
+namespace clsm {
+
+std::string DbStats::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "gets: total=%llu mem=%llu imm=%llu disk=%llu\n"
+      "writes: puts=%llu deletes=%llu batches=%llu\n"
+      "rmw: total=%llu conflicts=%llu noop=%llu\n"
+      "snapshots: acquired=%llu iterators=%llu getts_rollbacks=%llu\n"
+      "maintenance: rolls=%llu flushes=%llu compactions=%llu throttle_waits=%llu\n",
+      static_cast<unsigned long long>(gets_total.load()),
+      static_cast<unsigned long long>(gets_from_mem.load()),
+      static_cast<unsigned long long>(gets_from_imm.load()),
+      static_cast<unsigned long long>(gets_from_disk.load()),
+      static_cast<unsigned long long>(puts_total.load()),
+      static_cast<unsigned long long>(deletes_total.load()),
+      static_cast<unsigned long long>(batches_total.load()),
+      static_cast<unsigned long long>(rmw_total.load()),
+      static_cast<unsigned long long>(rmw_conflicts.load()),
+      static_cast<unsigned long long>(rmw_noop.load()),
+      static_cast<unsigned long long>(snapshots_acquired.load()),
+      static_cast<unsigned long long>(iterators_created.load()),
+      static_cast<unsigned long long>(getts_rollbacks.load()),
+      static_cast<unsigned long long>(memtable_rolls.load()),
+      static_cast<unsigned long long>(flushes.load()),
+      static_cast<unsigned long long>(compactions.load()),
+      static_cast<unsigned long long>(throttle_waits.load()));
+  return buf;
+}
+
+}  // namespace clsm

@@ -1,0 +1,52 @@
+// Lightweight operation counters for observability and ablation studies.
+// All counters are relaxed atomics bumped on hot paths; reading them is
+// racy-by-design (monitoring data). Exposed via DB::GetProperty("clsm.stats").
+#ifndef CLSM_CORE_STATS_H_
+#define CLSM_CORE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace clsm {
+
+class DbStats {
+ public:
+  // --- read path ---
+  std::atomic<uint64_t> gets_total{0};
+  std::atomic<uint64_t> gets_from_mem{0};   // served by Cm
+  std::atomic<uint64_t> gets_from_imm{0};   // served by C'm
+  std::atomic<uint64_t> gets_from_disk{0};  // served by Cd
+
+  // --- write path ---
+  std::atomic<uint64_t> puts_total{0};
+  std::atomic<uint64_t> deletes_total{0};
+  std::atomic<uint64_t> batches_total{0};
+
+  // --- RMW (Algorithm 3) ---
+  std::atomic<uint64_t> rmw_total{0};
+  std::atomic<uint64_t> rmw_conflicts{0};  // retries due to detected conflicts
+  std::atomic<uint64_t> rmw_noop{0};       // user function returned nullopt
+
+  // --- snapshots / scans ---
+  std::atomic<uint64_t> snapshots_acquired{0};
+  std::atomic<uint64_t> iterators_created{0};
+  std::atomic<uint64_t> getts_rollbacks{0};  // getTS retried (ts <= snapTime)
+
+  // --- maintenance ---
+  std::atomic<uint64_t> memtable_rolls{0};
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> throttle_waits{0};  // put delayed by backpressure
+
+  void Bump(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_CORE_STATS_H_

@@ -1,0 +1,23 @@
+#include "src/core/write_batch.h"
+
+namespace clsm {
+
+void WriteBatch::Put(const Slice& key, const Slice& value) {
+  ops_.push_back(Op{kTypeValue, key.ToString(), value.ToString()});
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  ops_.push_back(Op{kTypeDeletion, key.ToString(), std::string()});
+}
+
+void WriteBatch::Clear() { ops_.clear(); }
+
+size_t WriteBatch::ApproximateSize() const {
+  size_t total = 0;
+  for (const Op& op : ops_) {
+    total += sizeof(Op) + op.key.size() + op.value.size();
+  }
+  return total;
+}
+
+}  // namespace clsm

@@ -1,0 +1,41 @@
+// Atomic batch of write operations. cLSM applies batches under the
+// shared-exclusive lock in exclusive mode (paper §4), mirroring LevelDB's
+// coarse-grained batch synchronization.
+#ifndef CLSM_CORE_WRITE_BATCH_H_
+#define CLSM_CORE_WRITE_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lsm/dbformat.h"
+#include "src/util/slice.h"
+
+namespace clsm {
+
+class WriteBatch {
+ public:
+  WriteBatch() = default;
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  size_t Count() const { return ops_.size(); }
+
+  struct Op {
+    ValueType type;
+    std::string key;
+    std::string value;
+  };
+  const std::vector<Op>& ops() const { return ops_; }
+
+  // Approximate memory footprint of the batch contents.
+  size_t ApproximateSize() const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_CORE_WRITE_BATCH_H_

@@ -1,0 +1,40 @@
+// Naming scheme for the files that make up a store directory.
+#ifndef CLSM_LSM_FILENAME_H_
+#define CLSM_LSM_FILENAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace clsm {
+
+class Env;
+
+enum FileType {
+  kLogFile,        // <number>.log
+  kDBLockFile,     // LOCK
+  kTableFile,      // <number>.sst
+  kDescriptorFile, // MANIFEST-<number>
+  kCurrentFile,    // CURRENT
+  kTempFile,       // <number>.dbtmp
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string DescriptorFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string LockFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+// If filename is a clsm file, store its type in *type, the number encoded
+// in it (0 for CURRENT/LOCK) in *number, and return true.
+bool ParseFileName(const std::string& filename, uint64_t* number, FileType* type);
+
+// Make CURRENT point to the descriptor file with the given number.
+Status SetCurrentFile(Env* env, const std::string& dbname, uint64_t descriptor_number);
+
+}  // namespace clsm
+
+#endif  // CLSM_LSM_FILENAME_H_

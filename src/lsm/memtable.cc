@@ -1,0 +1,150 @@
+#include "src/lsm/memtable.h"
+
+#include "src/util/coding.h"
+
+namespace clsm {
+
+static Slice GetLengthPrefixedSliceAt(const char* data) {
+  uint32_t len;
+  const char* p = data;
+  p = GetVarint32Ptr(p, p + 5, &len);  // +5: we assume p is not corrupted
+  return Slice(p, len);
+}
+
+MemTable::MemTable(const InternalKeyComparator& comparator)
+    : comparator_(comparator), table_(comparator_, &arena_) {}
+
+int MemTable::KeyComparator::operator()(const char* aptr, const char* bptr) const {
+  // Internal keys are encoded as length-prefixed strings.
+  Slice a = GetLengthPrefixedSliceAt(aptr);
+  Slice b = GetLengthPrefixedSliceAt(bptr);
+  return comparator.Compare(a, b);
+}
+
+const char* MemTable::EncodeEntry(SequenceNumber seq, ValueType type, const Slice& key,
+                                  const Slice& value) {
+  // Format of an entry is concatenation of:
+  //  key_size     : varint32 of internal_key.size()
+  //  key bytes    : char[internal_key.size()]
+  //  tag          : uint64((sequence << 8) | type)
+  //  value_size   : varint32 of value.size()
+  //  value bytes  : char[value.size()]
+  size_t key_size = key.size();
+  size_t val_size = value.size();
+  size_t internal_key_size = key_size + 8;
+  const size_t encoded_len = VarintLength(internal_key_size) + internal_key_size +
+                             VarintLength(val_size) + val_size;
+  char* buf = arena_.Allocate(encoded_len);
+  char* p = EncodeVarint32(buf, static_cast<uint32_t>(internal_key_size));
+  std::memcpy(p, key.data(), key_size);
+  p += key_size;
+  EncodeFixed64(p, PackSequenceAndType(seq, type));
+  p += 8;
+  p = EncodeVarint32(p, static_cast<uint32_t>(val_size));
+  std::memcpy(p, value.data(), val_size);
+  assert(p + val_size == buf + encoded_len);
+  return buf;
+}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key, const Slice& value) {
+  table_.Insert(EncodeEntry(seq, type, key, value));
+}
+
+bool MemTable::AddIfNoConflict(SequenceNumber seq, ValueType type, const Slice& key,
+                               const Slice& value, SequenceNumber read_seq) {
+  const char* entry = EncodeEntry(seq, type, key, value);
+  const Comparator* ucmp = comparator_.comparator.user_comparator();
+  // Conflict detection per Algorithm 3: under newest-first internal-key
+  // order, a version of `key` newer than `seq` sits at the predecessor and
+  // one in (read_seq, seq) at the successor of the insertion point.
+  auto conflict = [&](const char* prev, bool prev_is_head, const char* succ,
+                      bool succ_at_end) -> bool {
+    if (!prev_is_head) {
+      Slice prev_ikey = GetLengthPrefixedSliceAt(prev);
+      if (ucmp->Compare(ExtractUserKey(prev_ikey), key) == 0) {
+        // Line 6: a newer version (seq' > seq >= read_seq) was inserted.
+        return true;
+      }
+    }
+    if (!succ_at_end) {
+      Slice succ_ikey = GetLengthPrefixedSliceAt(succ);
+      if (ucmp->Compare(ExtractUserKey(succ_ikey), key) == 0 &&
+          ExtractSequence(succ_ikey) > read_seq) {
+        // Line 8: a version newer than what we read was inserted.
+        return true;
+      }
+    }
+    return false;
+  };
+  return table_.InsertIfNoConflict(entry, conflict);
+}
+
+bool MemTable::Get(const LookupKey& lookup_key, std::string* value, Status* s,
+                   SequenceNumber* seq_found) {
+  Slice memkey = lookup_key.memtable_key();
+  Table::Iterator iter(&table_);
+  iter.Seek(memkey.data());
+  if (iter.Valid()) {
+    // The entry is the first with (user key >= lookup key's user key) and
+    // sequence <= the lookup sequence. Check that the user key matches.
+    const char* entry = iter.key();
+    uint32_t key_length;
+    const char* key_ptr = GetVarint32Ptr(entry, entry + 5, &key_length);
+    if (comparator_.comparator.user_comparator()->Compare(Slice(key_ptr, key_length - 8),
+                                                          lookup_key.user_key()) == 0) {
+      const uint64_t tag = DecodeFixed64(key_ptr + key_length - 8);
+      if (seq_found != nullptr) {
+        *seq_found = tag >> 8;
+      }
+      switch (static_cast<ValueType>(tag & 0xff)) {
+        case kTypeValue: {
+          Slice v = GetLengthPrefixedSliceAt(key_ptr + key_length);
+          value->assign(v.data(), v.size());
+          *s = Status::OK();
+          return true;
+        }
+        case kTypeDeletion:
+          *s = Status::NotFound(Slice());
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Iterator over memtable entries, exposing internal keys and values.
+class MemTableIterator final : public Iterator {
+ public:
+  explicit MemTableIterator(MemTable::Table* table) : iter_(table) {}
+
+  MemTableIterator(const MemTableIterator&) = delete;
+  MemTableIterator& operator=(const MemTableIterator&) = delete;
+
+  bool Valid() const override { return iter_.Valid(); }
+  void Seek(const Slice& k) override {
+    // Re-encode the internal key as a memtable key (length prefix).
+    tmp_.clear();
+    PutVarint32(&tmp_, static_cast<uint32_t>(k.size()));
+    tmp_.append(k.data(), k.size());
+    iter_.Seek(tmp_.data());
+  }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void SeekToLast() override { iter_.SeekToLast(); }
+  void Next() override { iter_.Next(); }
+  void Prev() override { iter_.Prev(); }
+  Slice key() const override { return GetLengthPrefixedSliceAt(iter_.key()); }
+  Slice value() const override {
+    Slice key_slice = GetLengthPrefixedSliceAt(iter_.key());
+    return GetLengthPrefixedSliceAt(key_slice.data() + key_slice.size());
+  }
+
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::Table::Iterator iter_;
+  std::string tmp_;  // For passing to Seek
+};
+
+Iterator* MemTable::NewIterator() { return new MemTableIterator(&table_); }
+
+}  // namespace clsm

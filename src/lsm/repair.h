@@ -1,0 +1,23 @@
+// RepairDb: best-effort reconstruction of a store whose manifest is lost
+// or corrupt. Scans the directory for table and log files, recovers the
+// key range and maximal timestamp of every readable table, converts
+// surviving WAL records into fresh tables, and writes a new manifest with
+// everything placed in level 0 (multi-version correctness is preserved
+// because reads resolve newest-first by timestamp regardless of level).
+#ifndef CLSM_LSM_REPAIR_H_
+#define CLSM_LSM_REPAIR_H_
+
+#include <string>
+
+#include "src/util/options.h"
+#include "src/util/status.h"
+
+namespace clsm {
+
+// Rebuilds dbname's metadata in place. Existing CURRENT/MANIFEST files are
+// ignored and replaced. Unreadable tables are skipped (logged to stderr).
+Status RepairDb(const Options& options, const std::string& dbname);
+
+}  // namespace clsm
+
+#endif  // CLSM_LSM_REPAIR_H_

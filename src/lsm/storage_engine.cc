@@ -1,0 +1,509 @@
+#include "src/lsm/storage_engine.h"
+
+#include <algorithm>
+
+#include "src/lsm/filename.h"
+#include "src/table/table_builder.h"
+#include "src/util/coding.h"
+#include "src/wal/log_reader.h"
+
+namespace clsm {
+
+void EncodeWalRecord(std::string* dst, SequenceNumber seq, ValueType type, const Slice& key,
+                     const Slice& value) {
+  PutVarint64(dst, seq);
+  dst->push_back(static_cast<char>(type));
+  PutLengthPrefixedSlice(dst, key);
+  PutLengthPrefixedSlice(dst, value);
+}
+
+bool DecodeWalOpFrom(Slice* input, SequenceNumber* seq, ValueType* type, Slice* key,
+                     Slice* value) {
+  if (!GetVarint64(input, seq)) {
+    return false;
+  }
+  if (input->empty()) {
+    return false;
+  }
+  uint8_t t = static_cast<uint8_t>((*input)[0]);
+  if (t > kTypeValue) {
+    return false;
+  }
+  *type = static_cast<ValueType>(t);
+  input->remove_prefix(1);
+  return GetLengthPrefixedSlice(input, key) && GetLengthPrefixedSlice(input, value);
+}
+
+bool DecodeWalRecord(Slice input, SequenceNumber* seq, ValueType* type, Slice* key, Slice* value) {
+  return DecodeWalOpFrom(&input, seq, type, key, value) && input.empty();
+}
+
+StorageEngine::StorageEngine(const Options& options, const std::string& dbname)
+    : options_(options),
+      dbname_(dbname),
+      env_(options.env != nullptr ? options.env : Env::Default()),
+      icmp_(options.comparator != nullptr ? options.comparator : BytewiseComparator()) {
+  options_.env = env_;
+  options_.comparator = icmp_.user_comparator();
+  if (options_.bloom_bits_per_key > 0) {
+    user_filter_policy_.reset(NewBloomFilterPolicy(options_.bloom_bits_per_key));
+    filter_policy_ = std::make_unique<InternalFilterPolicy>(user_filter_policy_.get());
+  }
+  if (options_.block_cache_size > 0) {
+    block_cache_.reset(NewLRUCache(options_.block_cache_size));
+  }
+  table_cache_ = std::make_unique<TableCache>(dbname_, options_, &icmp_, filter_policy_.get(),
+                                              block_cache_.get(), 1000);
+  versions_ = std::make_unique<VersionSet>(dbname_, &options_, table_cache_.get(), &icmp_,
+                                           &epochs_);
+}
+
+StorageEngine::~StorageEngine() = default;
+
+Status StorageEngine::NewDB() {
+  VersionEdit new_db;
+  new_db.SetComparatorName(icmp_.user_comparator()->Name());
+  new_db.SetLogNumber(0);
+  new_db.SetNextFile(2);
+  new_db.SetLastSequence(0);
+
+  const std::string manifest = DescriptorFileName(dbname_, 1);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(manifest, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    log::Writer log(file.get());
+    std::string record;
+    new_db.EncodeTo(&record);
+    s = log.AddRecord(record);
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+  }
+  if (s.ok()) {
+    // Make "CURRENT" file that points to the new manifest file.
+    s = SetCurrentFile(env_, dbname_, 1);
+  } else {
+    env_->RemoveFile(manifest);
+  }
+  return s;
+}
+
+Status StorageEngine::Open(MemTable** recovered_mem, SequenceNumber* max_seq) {
+  *recovered_mem = nullptr;
+  *max_seq = 0;
+
+  env_->CreateDir(dbname_);
+  if (!env_->FileExists(CurrentFileName(dbname_))) {
+    if (!options_.create_if_missing) {
+      return Status::InvalidArgument(dbname_, "does not exist (create_if_missing is false)");
+    }
+    Status s = NewDB();
+    if (!s.ok()) {
+      return s;
+    }
+  } else if (options_.error_if_exists) {
+    return Status::InvalidArgument(dbname_, "exists (error_if_exists is true)");
+  }
+
+  Status s = versions_->Recover();
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Replay WAL files newer than the version set's log number, oldest first.
+  std::vector<std::string> filenames;
+  s = env_->GetChildren(dbname_, &filenames);
+  if (!s.ok()) {
+    return s;
+  }
+  std::vector<uint64_t> logs;
+  for (const auto& filename : filenames) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(filename, &number, &type) && type == kLogFile &&
+        number >= versions_->LogNumber()) {
+      logs.push_back(number);
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+
+  SequenceNumber seq = versions_->LastSequence();
+  MemTable* mem = nullptr;
+  for (uint64_t log_number : logs) {
+    if (mem == nullptr) {
+      mem = new MemTable(icmp_);
+    }
+    s = RecoverLogFile(log_number, mem, &seq);
+    if (!s.ok()) {
+      mem->Unref();
+      return s;
+    }
+  }
+  if (seq > versions_->LastSequence()) {
+    versions_->SetLastSequence(seq);
+  }
+  *recovered_mem = mem;
+  *max_seq = seq;
+  return Status::OK();
+}
+
+Status StorageEngine::RecoverLogFile(uint64_t log_number, MemTable* mem, SequenceNumber* max_seq) {
+  struct LogReporter : public log::Reader::Reporter {
+    Status* status;
+    void Corruption(size_t bytes, const Status& s) override {
+      if (status->ok()) {
+        *status = s;
+      }
+    }
+  };
+
+  std::string fname = LogFileName(dbname_, log_number);
+  std::unique_ptr<SequentialFile> file;
+  Status s = env_->NewSequentialFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+
+  Status corruption_status;
+  LogReporter reporter;
+  reporter.status = &corruption_status;
+  log::Reader reader(file.get(), &reporter, true /*checksum*/, 0);
+
+  // The asynchronous logger writes records out of order; collect them all,
+  // sort by timestamp, and replay (paper §4: "the correct order is easily
+  // restored upon recovery" from the cLSM-generated timestamps).
+  struct Op {
+    SequenceNumber seq;
+    ValueType type;
+    std::string key;
+    std::string value;
+  };
+  std::vector<Op> ops;
+
+  Slice record;
+  std::string scratch;
+  while (reader.ReadRecord(&record, &scratch)) {
+    if (record.empty()) {
+      // Zero-length records are durability barriers emitted by synchronous
+      // group commits; they carry no operation.
+      continue;
+    }
+    // A record may hold several operations (atomic batch): all or nothing.
+    Slice rest = record;
+    std::vector<Op> record_ops;
+    while (!rest.empty()) {
+      SequenceNumber seq;
+      ValueType type;
+      Slice key, value;
+      if (!DecodeWalOpFrom(&rest, &seq, &type, &key, &value)) {
+        return Status::Corruption("malformed WAL record", fname);
+      }
+      record_ops.push_back(Op{seq, type, key.ToString(), value.ToString()});
+    }
+    ops.insert(ops.end(), record_ops.begin(), record_ops.end());
+  }
+  if (!corruption_status.ok()) {
+    return corruption_status;
+  }
+
+  std::stable_sort(ops.begin(), ops.end(), [](const Op& a, const Op& b) { return a.seq < b.seq; });
+  for (const Op& op : ops) {
+    mem->Add(op.seq, op.type, op.key, op.value);
+    if (op.seq > *max_seq) {
+      *max_seq = op.seq;
+    }
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::Get(const ReadOptions& options, const LookupKey& lookup_key,
+                          std::string* value, SequenceNumber* seq_found) {
+  Version* v = versions_->GetCurrent();
+  Status s = v->Get(options, lookup_key, value, seq_found);
+  v->Unref();
+  return s;
+}
+
+Version* StorageEngine::AddVersionIterators(const ReadOptions& options,
+                                            std::vector<Iterator*>* iters) {
+  Version* v = versions_->GetCurrent();
+  v->AddIterators(options, iters);
+  return v;
+}
+
+Status StorageEngine::BuildTable(Iterator* iter, FileMetaData* meta) {
+  meta->file_size = 0;
+  iter->SeekToFirst();
+  if (!iter->Valid()) {
+    return Status::OK();  // empty: caller checks file_size == 0
+  }
+
+  std::string fname = TableFileName(dbname_, meta->number);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+
+  TableBuilder builder(options_, &icmp_, filter_policy_.get(), file.get());
+  meta->smallest.DecodeFrom(iter->key());
+  Slice key;
+  for (; iter->Valid(); iter->Next()) {
+    key = iter->key();
+    builder.Add(key, iter->value());
+  }
+  if (!key.empty()) {
+    meta->largest.DecodeFrom(key);
+  }
+
+  s = builder.Finish();
+  if (s.ok()) {
+    meta->file_size = builder.FileSize();
+    assert(meta->file_size > 0);
+  }
+
+  if (s.ok()) {
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  if (s.ok()) {
+    s = iter->status();
+  }
+  if (!s.ok() || meta->file_size == 0) {
+    env_->RemoveFile(fname);
+  }
+  return s;
+}
+
+Status StorageEngine::FlushMemTable(MemTable* mem, uint64_t log_number) {
+  FileMetaData meta;
+  meta.number = versions_->NewFileNumber();
+  std::unique_ptr<Iterator> iter(mem->NewIterator());
+
+  Status s = BuildTable(iter.get(), &meta);
+  if (!s.ok()) {
+    return s;
+  }
+
+  VersionEdit edit;
+  if (meta.file_size > 0) {
+    edit.AddFile(0, meta.number, meta.file_size, meta.smallest, meta.largest);
+  }
+  edit.SetLogNumber(log_number);
+  return versions_->LogAndApply(&edit);
+}
+
+Status StorageEngine::CommitLogRotation(uint64_t log_number) {
+  VersionEdit edit;
+  edit.SetLogNumber(log_number);
+  return versions_->LogAndApply(&edit);
+}
+
+Status StorageEngine::CompactOnce(SequenceNumber smallest_snapshot, bool* did_work) {
+  *did_work = false;
+  std::unique_ptr<Compaction> c(versions_->PickCompaction());
+  if (c == nullptr) {
+    return Status::OK();
+  }
+  *did_work = true;
+
+  if (c->IsTrivialMove()) {
+    // Move the file down one level without rewriting it.
+    FileMetaData* f = c->input(0, 0);
+    c->edit()->RemoveFile(c->level(), f->number);
+    c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest, f->largest);
+    return versions_->LogAndApply(c->edit());
+  }
+  return DoCompactionWork(c.get(), smallest_snapshot);
+}
+
+Status StorageEngine::DoCompactionWork(Compaction* c, SequenceNumber smallest_snapshot) {
+  // kMaxSequenceNumber doubles as the "newest entry seen so far" sentinel in
+  // the drop rule below; a caller passing it as "no snapshots" must not make
+  // the sentinel itself satisfy last_sequence_for_key <= smallest_snapshot.
+  if (smallest_snapshot >= kMaxSequenceNumber) {
+    smallest_snapshot = kMaxSequenceNumber - 1;
+  }
+  std::unique_ptr<Iterator> input(versions_->MakeInputIterator(c));
+  input->SeekToFirst();
+
+  Status s;
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+  std::unique_ptr<WritableFile> outfile;
+  std::unique_ptr<TableBuilder> builder;
+  FileMetaData output_meta;
+  std::vector<FileMetaData> outputs;
+
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) {
+      return Status::OK();
+    }
+    Status fs = builder->Finish();
+    if (fs.ok()) {
+      output_meta.file_size = builder->FileSize();
+      fs = outfile->Sync();
+    }
+    if (fs.ok()) {
+      fs = outfile->Close();
+    }
+    if (fs.ok() && output_meta.file_size > 0) {
+      outputs.push_back(output_meta);
+    }
+    builder.reset();
+    outfile.reset();
+    return fs;
+  };
+
+  const Comparator* ucmp = icmp_.user_comparator();
+  for (; input->Valid() && s.ok(); input->Next()) {
+    Slice key = input->key();
+
+    bool drop = false;
+    ParsedInternalKey ikey;
+    if (!ParseInternalKey(key, &ikey)) {
+      // Do not hide corruption: pass it through.
+      current_user_key.clear();
+      has_current_user_key = false;
+      last_sequence_for_key = kMaxSequenceNumber;
+    } else {
+      if (!has_current_user_key || ucmp->Compare(ikey.user_key, Slice(current_user_key)) != 0) {
+        // First occurrence (newest version) of this user key.
+        current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+        has_current_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+      }
+
+      if (last_sequence_for_key <= smallest_snapshot) {
+        // Hidden by a newer entry that is itself visible at or below the
+        // oldest snapshot — no snapshot can observe this version (§3.2.1:
+        // for every key and snapshot, keep only the latest version not
+        // exceeding the snapshot's timestamp).
+        drop = true;
+      } else if (ikey.type == kTypeDeletion && ikey.sequence <= smallest_snapshot &&
+                 c->IsBaseLevelForKey(ikey.user_key)) {
+        // The deletion marker is invisible to all snapshots and there is no
+        // older version underneath it to resurrect: drop the marker itself.
+        drop = true;
+      }
+
+      last_sequence_for_key = ikey.sequence;
+    }
+
+    if (!drop) {
+      // Open output file if necessary.
+      if (builder == nullptr) {
+        output_meta = FileMetaData();
+        output_meta.number = versions_->NewFileNumber();
+        std::string fname = TableFileName(dbname_, output_meta.number);
+        s = env_->NewWritableFile(fname, &outfile);
+        if (!s.ok()) {
+          break;
+        }
+        builder = std::make_unique<TableBuilder>(options_, &icmp_, filter_policy_.get(),
+                                                 outfile.get());
+        output_meta.smallest.DecodeFrom(key);
+      }
+      output_meta.largest.DecodeFrom(key);
+      builder->Add(key, input->value());
+
+      if (builder->FileSize() >= c->MaxOutputFileSize()) {
+        s = finish_output();
+        if (!s.ok()) {
+          break;
+        }
+      }
+    }
+  }
+
+  if (s.ok()) {
+    s = input->status();
+  }
+  if (s.ok()) {
+    s = finish_output();
+  } else if (builder != nullptr) {
+    builder->Abandon();
+    builder.reset();
+    outfile.reset();
+  }
+  input.reset();
+
+  if (s.ok()) {
+    c->AddInputDeletions(c->edit());
+    for (const FileMetaData& out : outputs) {
+      c->edit()->AddFile(c->level() + 1, out.number, out.file_size, out.smallest, out.largest);
+    }
+    s = versions_->LogAndApply(c->edit());
+  }
+  if (!s.ok()) {
+    // Discard any outputs we managed to write; they were never installed.
+    for (const FileMetaData& out : outputs) {
+      env_->RemoveFile(TableFileName(dbname_, out.number));
+    }
+  }
+  c->ReleaseInputs();
+  return s;
+}
+
+Status StorageEngine::NewLog(uint64_t* log_number, std::unique_ptr<AsyncLogger>* logger) {
+  *log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(LogFileName(dbname_, *log_number), &file);
+  if (!s.ok()) {
+    return s;
+  }
+  *logger = std::make_unique<AsyncLogger>(std::move(file));
+  return Status::OK();
+}
+
+void StorageEngine::RemoveObsoleteFiles(uint64_t min_live_log_number, bool include_tables) {
+  std::set<uint64_t> live;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> filenames;
+  env_->GetChildren(dbname_, &filenames);
+  for (const std::string& filename : filenames) {
+    uint64_t number;
+    FileType type;
+    if (!ParseFileName(filename, &number, &type)) {
+      continue;
+    }
+    bool keep = true;
+    switch (type) {
+      case kLogFile:
+        keep = (number >= min_live_log_number && number >= versions_->LogNumber());
+        break;
+      case kDescriptorFile:
+        keep = (number >= versions_->ManifestFileNumber());
+        break;
+      case kTableFile:
+        keep = !include_tables || (live.find(number) != live.end());
+        break;
+      case kTempFile:
+        keep = false;
+        break;
+      case kCurrentFile:
+      case kDBLockFile:
+        keep = true;
+        break;
+    }
+    if (!keep) {
+      if (type == kTableFile) {
+        table_cache_->Evict(number);
+      }
+      env_->RemoveFile(dbname_ + "/" + filename);
+    }
+  }
+}
+
+}  // namespace clsm

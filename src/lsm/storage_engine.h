@@ -1,0 +1,121 @@
+// StorageEngine: the disk component and merge machinery shared by cLSM and
+// every baseline DB variant. It owns the version set, table/block caches,
+// WAL files and compaction logic; the DB variants on top differ only in
+// their in-memory concurrency control — exactly the variable the paper's
+// evaluation isolates (§5: all systems inherit the same disk-side modules).
+//
+// Thread contract: Get/AddVersionIterators are safe from any thread and
+// never block (epoch-protected version access). FlushMemTable/CompactOnce/
+// LogAndApply must be called from a single maintenance thread.
+#ifndef CLSM_LSM_STORAGE_ENGINE_H_
+#define CLSM_LSM_STORAGE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lsm/dbformat.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/version_set.h"
+#include "src/sync/ref_guard.h"
+#include "src/wal/async_logger.h"
+
+namespace clsm {
+
+// Serialization of operations into / out of WAL records. Each operation
+// carries its cLSM timestamp so recovery can restore the correct order even
+// though the asynchronous logger may write records out of order (paper §4).
+// A WAL record holds ONE OR MORE operations: atomic batches append all
+// their operations into a single record, making the batch all-or-nothing
+// across crashes (a log record is the unit of torn-tail discard).
+void EncodeWalRecord(std::string* dst, SequenceNumber seq, ValueType type, const Slice& key,
+                     const Slice& value);
+// Parses one operation from *input, advancing it. Returns false on
+// malformed data.
+bool DecodeWalOpFrom(Slice* input, SequenceNumber* seq, ValueType* type, Slice* key,
+                     Slice* value);
+// Single-operation record convenience (requires the record to contain
+// exactly one operation).
+bool DecodeWalRecord(Slice input, SequenceNumber* seq, ValueType* type, Slice* key, Slice* value);
+
+class StorageEngine {
+ public:
+  StorageEngine(const Options& options, const std::string& dbname);
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  ~StorageEngine();
+
+  // Creates/recovers the store. On return *recovered_mem (Ref'd, may be
+  // null if nothing to recover) holds WAL entries replayed in timestamp
+  // order, and *max_seq the largest recovered timestamp.
+  Status Open(MemTable** recovered_mem, SequenceNumber* max_seq);
+
+  // Point lookup in the disk component as of the sequence in lookup_key.
+  Status Get(const ReadOptions& options, const LookupKey& lookup_key, std::string* value,
+             SequenceNumber* seq_found = nullptr);
+
+  // Appends iterators over the current disk version to *iters and returns
+  // the version with a reference the caller must Unref (after the iterators
+  // are destroyed).
+  Version* AddVersionIterators(const ReadOptions& options, std::vector<Iterator*>* iters);
+
+  // --- Maintenance-thread-only operations ---
+
+  // Writes the (immutable) memtable to a level-0 table and logs the edit.
+  // log_number: WAL files strictly older than this become obsolete.
+  Status FlushMemTable(MemTable* mem, uint64_t log_number);
+
+  // Persists a new current log number (empty version edit). Required after
+  // opening a fresh WAL with nothing to flush: it rewrites the manifest so
+  // RemoveObsoleteFiles never strands CURRENT pointing at a GC'd manifest.
+  Status CommitLogRotation(uint64_t log_number);
+
+  // Runs at most one compaction step. did_work reports whether anything ran.
+  // smallest_snapshot: versions at or below this sequence that are shadowed
+  // by newer ones can be discarded (paper §3.2.1's obsolete-version GC).
+  Status CompactOnce(SequenceNumber smallest_snapshot, bool* did_work);
+
+  bool NeedsCompaction() const { return versions_->NeedsCompaction(); }
+  int NumLevelFiles(int level) const { return versions_->NumLevelFiles(level); }
+
+  // Creates a fresh WAL (<number>.log) with an asynchronous group logger.
+  Status NewLog(uint64_t* log_number, std::unique_ptr<AsyncLogger>* logger);
+
+  // Deletes files no longer referenced by the current state (called after
+  // recovery and after log rotation). Table files are swept only when
+  // include_tables is true (safe at open time only: during runtime, retired
+  // versions pinned by live iterators may still read files that are absent
+  // from the current version — their deletion is owned by the FileRef
+  // reference counts instead).
+  void RemoveObsoleteFiles(uint64_t min_live_log_number, bool include_tables = false);
+
+  VersionSet* versions() { return versions_.get(); }
+  const InternalKeyComparator* icmp() const { return &icmp_; }
+  EpochManager* epochs() { return &epochs_; }
+  Env* env() { return env_; }
+  const Options& options() const { return options_; }
+  const std::string& dbname() const { return dbname_; }
+
+ private:
+  Status NewDB();
+  Status RecoverLogFile(uint64_t log_number, MemTable* mem, SequenceNumber* max_seq);
+  Status BuildTable(Iterator* iter, FileMetaData* meta);
+  Status DoCompactionWork(Compaction* c, SequenceNumber smallest_snapshot);
+
+  Options options_;
+  const std::string dbname_;
+  Env* env_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<const FilterPolicy> user_filter_policy_;
+  std::unique_ptr<InternalFilterPolicy> filter_policy_;
+  std::unique_ptr<Cache> block_cache_;
+  std::unique_ptr<TableCache> table_cache_;
+  EpochManager epochs_;
+  std::unique_ptr<VersionSet> versions_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_LSM_STORAGE_ENGINE_H_

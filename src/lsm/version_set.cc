@@ -1,0 +1,950 @@
+#include "src/lsm/version_set.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/lsm/filename.h"
+#include "src/table/merging_iterator.h"
+#include "src/util/coding.h"
+#include "src/wal/log_reader.h"
+
+namespace clsm {
+
+static int64_t TotalFileSize(const std::vector<FileRef>& files) {
+  int64_t sum = 0;
+  for (const auto& f : files) {
+    sum += f->file_size;
+  }
+  return sum;
+}
+
+uint64_t VersionSet::MaxFileSizeForLevel(int level) const { return options_->target_file_size; }
+
+static double MaxBytesForLevel(const Options& options, int level) {
+  // level-0 is scored by file count, so this is only used for level >= 1.
+  double result = static_cast<double>(options.level1_max_bytes);
+  for (int l = 1; l < level; l++) {
+    result *= 10;
+  }
+  return result;
+}
+
+Version::~Version() = default;  // FileRefs release (and maybe delete) files
+
+int FindFile(const InternalKeyComparator& icmp, const std::vector<FileRef>& files,
+             const Slice& key) {
+  uint32_t left = 0;
+  uint32_t right = static_cast<uint32_t>(files.size());
+  while (left < right) {
+    uint32_t mid = (left + right) / 2;
+    const FileMetaData* f = files[mid].get();
+    if (icmp.Compare(f->largest.Encode(), key) < 0) {
+      // Key at "mid.largest" is < "target". All files at or before "mid"
+      // are uninteresting.
+      left = mid + 1;
+    } else {
+      right = mid;
+    }
+  }
+  return right;
+}
+
+static bool AfterFile(const Comparator* ucmp, const Slice* user_key, const FileMetaData* f) {
+  // null user_key occurs before all keys and is therefore never after *f.
+  return (user_key != nullptr && ucmp->Compare(*user_key, f->largest.user_key()) > 0);
+}
+
+static bool BeforeFile(const Comparator* ucmp, const Slice* user_key, const FileMetaData* f) {
+  return (user_key != nullptr && ucmp->Compare(*user_key, f->smallest.user_key()) < 0);
+}
+
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp, bool disjoint_sorted_files,
+                           const std::vector<FileRef>& files, const Slice* smallest_user_key,
+                           const Slice* largest_user_key) {
+  const Comparator* ucmp = icmp.user_comparator();
+  if (!disjoint_sorted_files) {
+    // Need to check against all files.
+    for (size_t i = 0; i < files.size(); i++) {
+      const FileMetaData* f = files[i].get();
+      if (AfterFile(ucmp, smallest_user_key, f) || BeforeFile(ucmp, largest_user_key, f)) {
+        // No overlap
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Binary search over file list.
+  uint32_t index = 0;
+  if (smallest_user_key != nullptr) {
+    InternalKey small_key(*smallest_user_key, kMaxSequenceNumber, kValueTypeForSeek);
+    index = FindFile(icmp, files, small_key.Encode());
+  }
+
+  if (index >= files.size()) {
+    return false;
+  }
+
+  return !BeforeFile(ucmp, largest_user_key, files[index].get());
+}
+
+Iterator* Version::NewConcatenatingIterator(const ReadOptions& options, int level) const {
+  // Index iterator over the file list; block function opens each file.
+  struct LevelFileNumIterator final : public Iterator {
+    LevelFileNumIterator(const InternalKeyComparator& icmp, const std::vector<FileRef>* flist)
+        : icmp_(icmp), flist_(flist), index_(flist->size()) {}
+
+    bool Valid() const override { return index_ < flist_->size(); }
+    void Seek(const Slice& target) override { index_ = FindFile(icmp_, *flist_, target); }
+    void SeekToFirst() override { index_ = 0; }
+    void SeekToLast() override { index_ = flist_->empty() ? 0 : flist_->size() - 1; }
+    void Next() override {
+      assert(Valid());
+      index_++;
+    }
+    void Prev() override {
+      assert(Valid());
+      if (index_ == 0) {
+        index_ = flist_->size();  // Marks as invalid
+      } else {
+        index_--;
+      }
+    }
+    Slice key() const override {
+      assert(Valid());
+      return (*flist_)[index_]->largest.Encode();
+    }
+    Slice value() const override {
+      assert(Valid());
+      EncodeFixed64(value_buf_, (*flist_)[index_]->number);
+      EncodeFixed64(value_buf_ + 8, (*flist_)[index_]->file_size);
+      return Slice(value_buf_, sizeof(value_buf_));
+    }
+    Status status() const override { return Status::OK(); }
+
+    const InternalKeyComparator icmp_;
+    const std::vector<FileRef>* const flist_;
+    size_t index_;
+    mutable char value_buf_[16];
+  };
+
+  struct Opener {
+    static Iterator* Open(void* arg, const ReadOptions& options, const Slice& file_value) {
+      TableCache* cache = reinterpret_cast<TableCache*>(arg);
+      if (file_value.size() != 16) {
+        return NewErrorIterator(Status::Corruption("FileReader invoked with unexpected value"));
+      }
+      return cache->NewIterator(options, DecodeFixed64(file_value.data()),
+                                DecodeFixed64(file_value.data() + 8));
+    }
+  };
+
+  return NewTwoLevelIterator(new LevelFileNumIterator(vset_->icmp_, &files_[level]),
+                             &Opener::Open, vset_->table_cache_, options);
+}
+
+void Version::AddIterators(const ReadOptions& options, std::vector<Iterator*>* iters) {
+  // Merge all level zero files together since they may overlap.
+  for (size_t i = 0; i < files_[0].size(); i++) {
+    iters->push_back(
+        vset_->table_cache_->NewIterator(options, files_[0][i]->number, files_[0][i]->file_size));
+  }
+
+  // For levels > 0, lazily open files with a concatenating iterator.
+  for (int level = 1; level < kNumLevels; level++) {
+    if (!files_[level].empty()) {
+      iters->push_back(NewConcatenatingIterator(options, level));
+    }
+  }
+}
+
+namespace {
+
+enum SaverState {
+  kNotFound,
+  kFound,
+  kDeleted,
+  kCorrupt,
+};
+struct Saver {
+  SaverState state;
+  const Comparator* ucmp;
+  Slice user_key;
+  std::string* value;
+  SequenceNumber seq_found;
+};
+
+void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
+  Saver* s = reinterpret_cast<Saver*>(arg);
+  ParsedInternalKey parsed_key;
+  if (!ParseInternalKey(ikey, &parsed_key)) {
+    s->state = kCorrupt;
+    return;
+  }
+  if (s->ucmp->Compare(parsed_key.user_key, s->user_key) == 0) {
+    s->seq_found = parsed_key.sequence;
+    s->state = (parsed_key.type == kTypeValue) ? kFound : kDeleted;
+    if (s->state == kFound) {
+      s->value->assign(v.data(), v.size());
+    }
+  }
+}
+
+}  // namespace
+
+Status Version::Get(const ReadOptions& options, const LookupKey& k, std::string* value,
+                    SequenceNumber* seq_found) {
+  const Slice ikey = k.internal_key();
+  const Slice user_key = k.user_key();
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+
+  Saver saver;
+  saver.ucmp = ucmp;
+  saver.user_key = user_key;
+  saver.value = value;
+
+  // Level-0 files may overlap; collect candidates and probe newest first.
+  std::vector<const FileMetaData*> tmp;
+  tmp.reserve(files_[0].size());
+  for (const auto& f : files_[0]) {
+    if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+        ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
+      tmp.push_back(f.get());
+    }
+  }
+  std::sort(tmp.begin(), tmp.end(),
+            [](const FileMetaData* a, const FileMetaData* b) { return a->number > b->number; });
+  // In normal operation level-0 files have disjoint timestamp ranges that
+  // grow with the file number, so the first hit is the newest. After a
+  // RepairDb, however, all surviving tables land in level 0 with arbitrary
+  // number-vs-recency order — so probe every candidate and keep the hit
+  // with the highest timestamp.
+  SaverState best_state = kNotFound;
+  SequenceNumber best_seq = 0;
+  std::string best_value;
+  for (const FileMetaData* f : tmp) {
+    std::string candidate;
+    saver.state = kNotFound;
+    saver.value = &candidate;
+    Status s = vset_->table_cache_->Get(options, f->number, f->file_size, ikey, &saver,
+                                        &SaveValue);
+    if (!s.ok()) {
+      return s;
+    }
+    if (saver.state == kCorrupt) {
+      return Status::Corruption("corrupted key for ", user_key);
+    }
+    if (saver.state != kNotFound && saver.seq_found >= best_seq) {
+      best_state = saver.state;
+      best_seq = saver.seq_found;
+      best_value = std::move(candidate);
+    }
+  }
+  saver.value = value;
+  if (best_state == kFound) {
+    *value = std::move(best_value);
+    if (seq_found != nullptr) {
+      *seq_found = best_seq;
+    }
+    return Status::OK();
+  }
+  if (best_state == kDeleted) {
+    if (seq_found != nullptr) {
+      *seq_found = best_seq;
+    }
+    return Status::NotFound(Slice());
+  }
+
+  // Deeper levels: at most one candidate file per level.
+  for (int level = 1; level < kNumLevels; level++) {
+    const std::vector<FileRef>& files = files_[level];
+    if (files.empty()) {
+      continue;
+    }
+    uint32_t index = FindFile(vset_->icmp_, files, ikey);
+    if (index >= files.size()) {
+      continue;
+    }
+    const FileMetaData* f = files[index].get();
+    if (ucmp->Compare(user_key, f->smallest.user_key()) < 0) {
+      continue;
+    }
+    saver.state = kNotFound;
+    Status s = vset_->table_cache_->Get(options, f->number, f->file_size, ikey, &saver,
+                                        &SaveValue);
+    if (!s.ok()) {
+      return s;
+    }
+    switch (saver.state) {
+      case kNotFound:
+        break;
+      case kFound:
+        if (seq_found != nullptr) {
+          *seq_found = saver.seq_found;
+        }
+        return s;
+      case kDeleted:
+        if (seq_found != nullptr) {
+          *seq_found = saver.seq_found;
+        }
+        return Status::NotFound(Slice());
+      case kCorrupt:
+        return Status::Corruption("corrupted key for ", user_key);
+    }
+  }
+
+  return Status::NotFound(Slice());
+}
+
+int64_t Version::NumBytes(int level) const { return TotalFileSize(files_[level]); }
+
+std::string Version::DebugString() const {
+  std::string r;
+  for (int level = 0; level < kNumLevels; level++) {
+    r.append("--- level ");
+    r.append(std::to_string(level));
+    r.append(" ---\n");
+    for (const auto& f : files_[level]) {
+      r.push_back(' ');
+      r.append(std::to_string(f->number));
+      r.push_back(':');
+      r.append(std::to_string(f->file_size));
+      r.append("[");
+      r.append(f->smallest.user_key().ToString());
+      r.append(" .. ");
+      r.append(f->largest.user_key().ToString());
+      r.append("]\n");
+    }
+  }
+  return r;
+}
+
+// Builder: accumulates edits on top of a base version.
+class VersionSet::Builder {
+ public:
+  Builder(VersionSet* vset, Version* base) : vset_(vset), base_(base) {
+    base_->Ref();
+    for (int level = 0; level < kNumLevels; level++) {
+      levels_[level].added_files = base_->files_[level];
+      for (const FileRef& f : base_->files_[level]) {
+        base_by_number_.emplace(f->number, f);
+      }
+    }
+  }
+
+  ~Builder() { base_->Unref(); }
+
+  // Apply all of the edits in *edit to the accumulated state.
+  void Apply(const VersionEdit* edit) {
+    // Update compaction pointers.
+    for (size_t i = 0; i < edit->compact_pointers_.size(); i++) {
+      const int level = edit->compact_pointers_[i].first;
+      vset_->compact_pointer_[level] = edit->compact_pointers_[i].second.Encode().ToString();
+    }
+
+    // Apply deletions.
+    for (const auto& deleted_file_set_kvp : edit->deleted_files_) {
+      const int level = deleted_file_set_kvp.first;
+      const uint64_t number = deleted_file_set_kvp.second;
+      auto& files = levels_[level].added_files;
+      files.erase(std::remove_if(files.begin(), files.end(),
+                                 [number](const FileRef& f) { return f->number == number; }),
+                  files.end());
+    }
+
+    // Apply additions. A trivial move re-adds a file number that already
+    // exists in the base version OR in an earlier edit applied to this same
+    // builder (manifest recovery replays the whole history through one
+    // builder); reuse the existing FileRef so the file keeps a single
+    // ownership group. A second group would delete the file from disk when
+    // the first one died — e.g. replaying add/delete/re-add would remove a
+    // perfectly live table during recovery.
+    for (size_t i = 0; i < edit->new_files_.size(); i++) {
+      const int level = edit->new_files_[i].first;
+      const FileMetaData& meta = edit->new_files_[i].second;
+      auto existing = base_by_number_.find(meta.number);
+      if (existing != base_by_number_.end()) {
+        levels_[level].added_files.push_back(existing->second);
+      } else {
+        FileRef ref = vset_->MakeFileRef(meta);
+        base_by_number_.emplace(meta.number, ref);  // pin across delete/re-add
+        levels_[level].added_files.push_back(std::move(ref));
+      }
+    }
+  }
+
+  // Save the accumulated state in *v.
+  void SaveTo(Version* v) {
+    for (int level = 0; level < kNumLevels; level++) {
+      v->files_[level] = levels_[level].added_files;
+      auto& files = v->files_[level];
+      if (level == 0) {
+        // Newest (largest number) first for probe order; AddIterators and
+        // compaction picking rely on this too.
+        std::sort(files.begin(), files.end(),
+                  [](const FileRef& a, const FileRef& b) { return a->number > b->number; });
+      } else {
+        const InternalKeyComparator& icmp = vset_->icmp_;
+        std::sort(files.begin(), files.end(), [&icmp](const FileRef& a, const FileRef& b) {
+          return icmp.Compare(a->smallest.Encode(), b->smallest.Encode()) < 0;
+        });
+#ifndef NDEBUG
+        // Disjointness invariant.
+        for (size_t i = 1; i < files.size(); i++) {
+          assert(icmp.Compare(files[i - 1]->largest.Encode(), files[i]->smallest.Encode()) < 0);
+        }
+#endif
+      }
+    }
+  }
+
+ private:
+  struct LevelState {
+    std::vector<FileRef> added_files;
+  };
+
+  VersionSet* vset_;
+  Version* base_;
+  LevelState levels_[kNumLevels];
+  std::map<uint64_t, FileRef> base_by_number_;
+};
+
+VersionSet::VersionSet(const std::string& dbname, const Options* options,
+                       TableCache* table_cache, const InternalKeyComparator* cmp,
+                       EpochManager* epochs)
+    : env_(options->env),
+      dbname_(dbname),
+      options_(options),
+      table_cache_(table_cache),
+      icmp_(*cmp),
+      epochs_(epochs),
+      next_file_number_(2),
+      manifest_file_number_(0),
+      last_sequence_(0),
+      log_number_(0),
+      current_(nullptr),
+      delete_unreferenced_files_(true) {
+  current_.store(new Version(this), std::memory_order_release);
+}
+
+VersionSet::~VersionSet() {
+  // All files are live at shutdown; keep them.
+  SetFileDeletionEnabled(false);
+  Version* v = current_.load(std::memory_order_acquire);
+  if (v != nullptr) {
+    v->Unref();
+  }
+  descriptor_log_.reset();
+  if (descriptor_file_ != nullptr) {
+    descriptor_file_->Close();
+  }
+}
+
+FileRef VersionSet::MakeFileRef(const FileMetaData& meta) {
+  FileMetaData* f = new FileMetaData(meta);
+  VersionSet* vset = this;
+  return FileRef(f, [vset](FileMetaData* m) { vset->OnFileUnreferenced(m); });
+}
+
+void VersionSet::OnFileUnreferenced(FileMetaData* meta) {
+  if (delete_unreferenced_files_.load(std::memory_order_acquire)) {
+    table_cache_->Evict(meta->number);
+    env_->RemoveFile(TableFileName(dbname_, meta->number));
+  }
+  delete meta;
+}
+
+Version* VersionSet::GetCurrent() {
+  // Pd read path: epoch-protected pointer load + refcount bump, never
+  // blocking (paper §3.1).
+  EpochGuard guard(*epochs_);
+  Version* v = current_.load(std::memory_order_acquire);
+  v->Ref();
+  return v;
+}
+
+void VersionSet::InstallVersion(Version* v) {
+  Version* old = current_.exchange(v, std::memory_order_acq_rel);
+  // Grace period: wait until every reader that might have loaded `old`
+  // without yet bumping its refcount has exited its critical section.
+  epochs_->Synchronize();
+  if (old != nullptr) {
+    old->Unref();
+  }
+}
+
+bool VersionSet::NeedsCompaction() const {
+  EpochGuard guard(*epochs_);
+  return current_.load(std::memory_order_acquire)->compaction_score_ >= 1;
+}
+
+int VersionSet::NumLevelFiles(int level) const {
+  EpochGuard guard(*epochs_);
+  return current_.load(std::memory_order_acquire)->NumFiles(level);
+}
+
+int64_t VersionSet::NumLevelBytes(int level) const {
+  EpochGuard guard(*epochs_);
+  return current_.load(std::memory_order_acquire)->NumBytes(level);
+}
+
+Status VersionSet::LogAndApply(VersionEdit* edit) {
+  std::lock_guard<std::mutex> apply_lock(apply_mutex_);
+  if (edit->has_log_number_) {
+    assert(edit->log_number_ >= log_number_);
+  } else {
+    edit->SetLogNumber(log_number_);
+  }
+  edit->SetNextFile(next_file_number_.load(std::memory_order_relaxed));
+  edit->SetLastSequence(last_sequence_.load(std::memory_order_relaxed));
+
+  Version* v = new Version(this);
+  {
+    Builder builder(this, current_unlocked());
+    builder.Apply(edit);
+    builder.SaveTo(v);
+  }
+  Finalize(v);
+
+  // Initialize new descriptor log file if necessary by creating a temporary
+  // file that contains a snapshot of the current version.
+  Status s;
+  std::string new_manifest_file;
+  if (descriptor_log_ == nullptr) {
+    assert(descriptor_file_ == nullptr);
+    manifest_file_number_ = NewFileNumber();
+    new_manifest_file = DescriptorFileName(dbname_, manifest_file_number_);
+    s = env_->NewWritableFile(new_manifest_file, &descriptor_file_);
+    if (s.ok()) {
+      descriptor_log_ = std::make_unique<log::Writer>(descriptor_file_.get());
+      s = WriteSnapshot(descriptor_log_.get());
+    }
+  }
+
+  // Write new record to the manifest log.
+  if (s.ok()) {
+    std::string record;
+    edit->EncodeTo(&record);
+    s = descriptor_log_->AddRecord(record);
+    if (s.ok()) {
+      s = descriptor_file_->Sync();
+    }
+  }
+
+  // If we just created a new descriptor file, install it by writing a new
+  // CURRENT file that points to it.
+  if (s.ok() && !new_manifest_file.empty()) {
+    s = SetCurrentFile(env_, dbname_, manifest_file_number_);
+  }
+
+  // Install the new version.
+  if (s.ok()) {
+    log_number_ = edit->log_number_;
+    InstallVersion(v);
+  } else {
+    v->Ref();
+    v->Unref();  // delete v
+    if (!new_manifest_file.empty()) {
+      descriptor_log_.reset();
+      descriptor_file_.reset();
+      env_->RemoveFile(new_manifest_file);
+    }
+  }
+
+  return s;
+}
+
+Status VersionSet::Recover() {
+  // No file may be removed from disk while replaying history: intermediate
+  // reference-count transitions during the replay do not reflect liveness.
+  // The orphan sweep at open time (after recovery) removes true garbage.
+  SetFileDeletionEnabled(false);
+  struct ReenableDeletion {
+    VersionSet* vset;
+    ~ReenableDeletion() { vset->SetFileDeletionEnabled(true); }
+  } reenable{this};
+
+  // Read "CURRENT" file, which contains a pointer to the current manifest.
+  std::string current;
+  Status s = ReadFileToString(env_, CurrentFileName(dbname_), &current);
+  if (!s.ok()) {
+    return s;
+  }
+  if (current.empty() || current[current.size() - 1] != '\n') {
+    return Status::Corruption("CURRENT file does not end with newline");
+  }
+  current.resize(current.size() - 1);
+
+  std::string dscname = dbname_ + "/" + current;
+  std::unique_ptr<SequentialFile> file;
+  s = env_->NewSequentialFile(dscname, &file);
+  if (!s.ok()) {
+    if (s.IsNotFound()) {
+      return Status::Corruption("CURRENT points to a non-existent file", s.ToString());
+    }
+    return s;
+  }
+
+  bool have_log_number = false;
+  bool have_next_file = false;
+  bool have_last_sequence = false;
+  uint64_t next_file = 0;
+  uint64_t last_sequence = 0;
+  uint64_t log_number = 0;
+  Builder builder(this, current_unlocked());
+  int read_records = 0;
+
+  {
+    struct LogReporter : public log::Reader::Reporter {
+      Status* status;
+      void Corruption(size_t bytes, const Status& s) override {
+        if (this->status->ok()) {
+          *this->status = s;
+        }
+      }
+    };
+    LogReporter reporter;
+    reporter.status = &s;
+    log::Reader reader(file.get(), &reporter, true /*checksum*/, 0 /*initial_offset*/);
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch) && s.ok()) {
+      ++read_records;
+      VersionEdit edit;
+      s = edit.DecodeFrom(record);
+      if (s.ok()) {
+        if (edit.has_comparator_ && edit.comparator_ != icmp_.user_comparator()->Name()) {
+          s = Status::InvalidArgument(
+              edit.comparator_ + " does not match existing comparator ",
+              icmp_.user_comparator()->Name());
+        }
+      }
+
+      if (s.ok()) {
+        builder.Apply(&edit);
+      }
+
+      if (edit.has_log_number_) {
+        log_number = edit.log_number_;
+        have_log_number = true;
+      }
+      if (edit.has_next_file_number_) {
+        next_file = edit.next_file_number_;
+        have_next_file = true;
+      }
+      if (edit.has_last_sequence_) {
+        last_sequence = edit.last_sequence_;
+        have_last_sequence = true;
+      }
+    }
+  }
+
+  if (s.ok()) {
+    if (!have_next_file) {
+      s = Status::Corruption("no meta-nextfile entry in descriptor");
+    } else if (!have_log_number) {
+      s = Status::Corruption("no meta-lognumber entry in descriptor");
+    } else if (!have_last_sequence) {
+      s = Status::Corruption("no last-sequence-number entry in descriptor");
+    }
+  }
+
+  if (s.ok()) {
+    Version* v = new Version(this);
+    builder.SaveTo(v);
+    Finalize(v);
+    InstallVersion(v);
+    manifest_file_number_ = next_file;
+    next_file_number_.store(next_file + 1, std::memory_order_relaxed);
+    last_sequence_.store(last_sequence, std::memory_order_relaxed);
+    log_number_ = log_number;
+  }
+
+  return s;
+}
+
+void VersionSet::Finalize(Version* v) {
+  // Precomputed best level for next compaction.
+  int best_level = -1;
+  double best_score = -1;
+
+  for (int level = 0; level < kNumLevels - 1; level++) {
+    double score;
+    if (level == 0) {
+      // Level-0 is scored by file count rather than bytes: files must be
+      // merged (not just searched) and with a small write buffer we would
+      // otherwise do too many tiny compactions.
+      score = v->files_[level].size() / static_cast<double>(options_->l0_compaction_trigger);
+    } else {
+      const uint64_t level_bytes = TotalFileSize(v->files_[level]);
+      score = static_cast<double>(level_bytes) / MaxBytesForLevel(*options_, level);
+    }
+
+    if (score > best_score) {
+      best_level = level;
+      best_score = score;
+    }
+  }
+
+  v->compaction_level_ = best_level;
+  v->compaction_score_ = best_score;
+}
+
+Status VersionSet::WriteSnapshot(log::Writer* log) {
+  // Save metadata.
+  VersionEdit edit;
+  edit.SetComparatorName(icmp_.user_comparator()->Name());
+
+  // Save compaction pointers.
+  for (int level = 0; level < kNumLevels; level++) {
+    if (!compact_pointer_[level].empty()) {
+      InternalKey key;
+      key.DecodeFrom(compact_pointer_[level]);
+      edit.SetCompactPointer(level, key);
+    }
+  }
+
+  // Save files.
+  Version* current = current_unlocked();
+  for (int level = 0; level < kNumLevels; level++) {
+    for (const auto& f : current->files_[level]) {
+      edit.AddFile(level, f->number, f->file_size, f->smallest, f->largest);
+    }
+  }
+
+  std::string record;
+  edit.EncodeTo(&record);
+  return log->AddRecord(record);
+}
+
+void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
+  Version* v = current_unlocked();
+  for (int level = 0; level < kNumLevels; level++) {
+    for (const auto& f : v->files_[level]) {
+      live->insert(f->number);
+    }
+  }
+}
+
+std::string VersionSet::LevelSummary() const {
+  std::string r = "files[";
+  for (int level = 0; level < kNumLevels; level++) {
+    r.append(std::to_string(NumLevelFiles(level)));
+    r.push_back(level + 1 < kNumLevels ? ' ' : ']');
+  }
+  return r;
+}
+
+void VersionSet::GetRange(const std::vector<FileRef>& inputs, InternalKey* smallest,
+                          InternalKey* largest) {
+  assert(!inputs.empty());
+  smallest->Clear();
+  largest->Clear();
+  for (size_t i = 0; i < inputs.size(); i++) {
+    const FileMetaData* f = inputs[i].get();
+    if (i == 0) {
+      *smallest = f->smallest;
+      *largest = f->largest;
+    } else {
+      if (icmp_.Compare(f->smallest.Encode(), smallest->Encode()) < 0) {
+        *smallest = f->smallest;
+      }
+      if (icmp_.Compare(f->largest.Encode(), largest->Encode()) > 0) {
+        *largest = f->largest;
+      }
+    }
+  }
+}
+
+void VersionSet::GetRange2(const std::vector<FileRef>& inputs1,
+                           const std::vector<FileRef>& inputs2, InternalKey* smallest,
+                           InternalKey* largest) {
+  std::vector<FileRef> all = inputs1;
+  all.insert(all.end(), inputs2.begin(), inputs2.end());
+  GetRange(all, smallest, largest);
+}
+
+void VersionSet::GetOverlappingInputs(Version* v, int level, const InternalKey* begin,
+                                      const InternalKey* end, std::vector<FileRef>* inputs) {
+  assert(level >= 0);
+  assert(level < kNumLevels);
+  inputs->clear();
+  Slice user_begin, user_end;
+  if (begin != nullptr) {
+    user_begin = begin->user_key();
+  }
+  if (end != nullptr) {
+    user_end = end->user_key();
+  }
+  const Comparator* user_cmp = icmp_.user_comparator();
+  for (size_t i = 0; i < v->files_[level].size();) {
+    FileRef f = v->files_[level][i++];
+    const Slice file_start = f->smallest.user_key();
+    const Slice file_limit = f->largest.user_key();
+    if (begin != nullptr && user_cmp->Compare(file_limit, user_begin) < 0) {
+      // "f" is completely before specified range; skip it.
+    } else if (end != nullptr && user_cmp->Compare(file_start, user_end) > 0) {
+      // "f" is completely after specified range; skip it.
+    } else {
+      inputs->push_back(f);
+      if (level == 0) {
+        // Level-0 files may overlap each other. So check if the newly
+        // added file has expanded the range. If so, restart search.
+        if (begin != nullptr && user_cmp->Compare(file_start, user_begin) < 0) {
+          user_begin = file_start;
+          inputs->clear();
+          i = 0;
+        } else if (end != nullptr && user_cmp->Compare(file_limit, user_end) > 0) {
+          user_end = file_limit;
+          inputs->clear();
+          i = 0;
+        }
+      }
+    }
+  }
+}
+
+Compaction* VersionSet::PickCompaction() {
+  // Pin the version first (epoch-protected): the flush thread may install a
+  // new version concurrently.
+  Version* v = GetCurrent();
+  if (v->compaction_score_ < 1) {
+    v->Unref();
+    return nullptr;
+  }
+  const int level = v->compaction_level_;
+  assert(level >= 0);
+  assert(level + 1 < kNumLevels);
+  Compaction* c = new Compaction(options_, level, MaxFileSizeForLevel(level + 1));
+
+  // Pick the first file that comes after compact_pointer_[level].
+  for (size_t i = 0; i < v->files_[level].size(); i++) {
+    FileRef f = v->files_[level][i];
+    if (compact_pointer_[level].empty() ||
+        icmp_.Compare(f->largest.Encode(), compact_pointer_[level]) > 0) {
+      c->inputs_[0].push_back(f);
+      break;
+    }
+  }
+  if (c->inputs_[0].empty()) {
+    // Wrap-around to the beginning of the key space.
+    c->inputs_[0].push_back(v->files_[level][0]);
+  }
+
+  c->input_version_ = v;  // transfers the reference taken above
+
+  // Files in level 0 may overlap each other, so pick up all overlapping ones.
+  if (level == 0) {
+    InternalKey smallest, largest;
+    GetRange(c->inputs_[0], &smallest, &largest);
+    // Note that the next call will discard the file we placed in
+    // c->inputs_[0] earlier and replace it with an overlapping set
+    // which will include the picked file.
+    GetOverlappingInputs(v, 0, &smallest, &largest, &c->inputs_[0]);
+    assert(!c->inputs_[0].empty());
+  }
+
+  SetupOtherInputs(c);
+
+  return c;
+}
+
+void VersionSet::SetupOtherInputs(Compaction* c) {
+  const int level = c->level();
+  InternalKey smallest, largest;
+  GetRange(c->inputs_[0], &smallest, &largest);
+
+  GetOverlappingInputs(c->input_version_, level + 1, &smallest, &largest, &c->inputs_[1]);
+
+  // Compute the full key range covered by this compaction.
+  InternalKey all_start, all_limit;
+  GetRange2(c->inputs_[0], c->inputs_[1], &all_start, &all_limit);
+
+  // Update the place where we will do the next compaction for this level
+  // right away rather than waiting for the VersionEdit to be applied: one
+  // in-flight compaction per level at a time keeps this safe.
+  compact_pointer_[level] = largest.Encode().ToString();
+  c->edit_.SetCompactPointer(level, largest);
+}
+
+Iterator* VersionSet::MakeInputIterator(Compaction* c) {
+  ReadOptions options;
+  options.verify_checksums = options_->paranoid_checks;
+  options.fill_cache = false;
+
+  // One iterator per input file; compaction input sets are small, so a flat
+  // k-way merge is as good as LevelDB's concatenate-then-merge and simpler.
+  const int space = c->num_input_files(0) + c->num_input_files(1);
+  Iterator** list = new Iterator*[space];
+  int num = 0;
+  for (int which = 0; which < 2; which++) {
+    for (const auto& f : c->inputs_[which]) {
+      list[num++] = table_cache_->NewIterator(options, f->number, f->file_size);
+    }
+  }
+  assert(num == space);
+  Iterator* result = NewMergingIterator(&icmp_, list, num);
+  delete[] list;
+  return result;
+}
+
+Compaction::Compaction(const Options* options, int level, uint64_t max_output_file_size)
+    : level_(level),
+      max_output_file_size_(max_output_file_size),
+      input_version_(nullptr) {
+  for (int i = 0; i < kNumLevels; i++) {
+    level_ptrs_[i] = 0;
+  }
+}
+
+Compaction::~Compaction() {
+  if (input_version_ != nullptr) {
+    input_version_->Unref();
+  }
+}
+
+bool Compaction::IsTrivialMove() const {
+  // A single input file with nothing to merge with below can simply be
+  // relocated one level down.
+  return (num_input_files(0) == 1 && num_input_files(1) == 0);
+}
+
+void Compaction::AddInputDeletions(VersionEdit* edit) {
+  for (int which = 0; which < 2; which++) {
+    for (size_t i = 0; i < inputs_[which].size(); i++) {
+      edit->RemoveFile(level_ + which, inputs_[which][i]->number);
+    }
+  }
+}
+
+bool Compaction::IsBaseLevelForKey(const Slice& user_key) {
+  // Maybe use binary search to find right entry instead of linear search?
+  const Comparator* user_cmp = input_version_->vset_->icmp_.user_comparator();
+  for (int lvl = level_ + 2; lvl < kNumLevels; lvl++) {
+    const std::vector<FileRef>& files = input_version_->files_[lvl];
+    while (level_ptrs_[lvl] < files.size()) {
+      FileMetaData* f = files[level_ptrs_[lvl]].get();
+      if (user_cmp->Compare(user_key, f->largest.user_key()) <= 0) {
+        // We've advanced far enough.
+        if (user_cmp->Compare(user_key, f->smallest.user_key()) >= 0) {
+          // Key falls in this file's range, so definitely not base level.
+          return false;
+        }
+        break;
+      }
+      level_ptrs_[lvl]++;
+    }
+  }
+  return true;
+}
+
+void Compaction::ReleaseInputs() {
+  if (input_version_ != nullptr) {
+    input_version_->Unref();
+    input_version_ = nullptr;
+  }
+}
+
+}  // namespace clsm

@@ -1,0 +1,240 @@
+// The disk component Cd: a multi-level set of SSTables evolving under
+// background merges (paper §2.3). A Version is an immutable snapshot of the
+// file set; the current Version pointer is the Pd of Figure 2b. Readers
+// obtain it without blocking via the same epoch-protected refcount scheme
+// used for memory components (§3.1); only the single background merge
+// thread mutates the set.
+#ifndef CLSM_LSM_VERSION_SET_H_
+#define CLSM_LSM_VERSION_SET_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lsm/dbformat.h"
+#include "src/lsm/table_cache.h"
+#include "src/lsm/version_edit.h"
+#include "src/sync/ref_guard.h"
+#include "src/table/iterator.h"
+#include "src/wal/log_writer.h"
+
+namespace clsm {
+
+class Compaction;
+class VersionSet;
+
+using FileRef = std::shared_ptr<FileMetaData>;
+
+// Returns files in `files` whose range may contain user_key.
+int FindFile(const InternalKeyComparator& icmp, const std::vector<FileRef>& files,
+             const Slice& internal_key);
+
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp, bool disjoint_sorted_files,
+                           const std::vector<FileRef>& files, const Slice* smallest_user_key,
+                           const Slice* largest_user_key);
+
+class Version : public RefCounted {
+ public:
+  Version(const Version&) = delete;
+  Version& operator=(const Version&) = delete;
+
+  // Append iterators over this version's contents to *iters (for merged
+  // scans). Caller must hold a reference for the iterators' lifetime; the
+  // iterators additionally pin table-cache entries themselves.
+  void AddIterators(const ReadOptions&, std::vector<Iterator*>* iters);
+
+  // Point lookup as of lookup_key's embedded sequence. Returns OK with
+  // *value, NotFound, or an error. If seq_found is non-null it receives the
+  // timestamp of the version found (when one is found).
+  Status Get(const ReadOptions&, const LookupKey& lookup_key, std::string* value,
+             SequenceNumber* seq_found = nullptr);
+
+  int NumFiles(int level) const { return static_cast<int>(files_[level].size()); }
+  int64_t NumBytes(int level) const;
+
+  std::string DebugString() const;
+
+ private:
+  friend class VersionSet;
+  friend class Compaction;
+
+  explicit Version(VersionSet* vset) : vset_(vset), compaction_score_(-1), compaction_level_(-1) {}
+  ~Version() override;
+
+  Iterator* NewConcatenatingIterator(const ReadOptions&, int level) const;
+
+  VersionSet* vset_;
+  // Files per level; level 0 is ordered newest-first (descending file
+  // number), deeper levels are sorted by key range and disjoint.
+  std::vector<FileRef> files_[kNumLevels];
+
+  // Level that should be compacted next and its score (>= 1 means
+  // compaction is needed). Filled by VersionSet::Finalize().
+  double compaction_score_;
+  int compaction_level_;
+};
+
+class VersionSet {
+ public:
+  VersionSet(const std::string& dbname, const Options* options, TableCache* table_cache,
+             const InternalKeyComparator* cmp, EpochManager* epochs);
+
+  VersionSet(const VersionSet&) = delete;
+  VersionSet& operator=(const VersionSet&) = delete;
+
+  ~VersionSet();
+
+  // Apply *edit to the current version and install the result as the new
+  // current version, persisting the edit to the manifest. Thread-safe:
+  // internally serialized (the flush and compaction threads may both apply
+  // edits when Options::dedicated_flush_thread is on).
+  Status LogAndApply(VersionEdit* edit);
+
+  // Recover the last saved descriptor from persistent storage.
+  Status Recover();
+
+  // Reader access to the current version: non-blocking (epoch-protected
+  // load + refcount bump). Caller must Unref() when done.
+  Version* GetCurrent();
+
+  // Current version without ref or epoch protection: safe ONLY while the
+  // caller can rule out a concurrent InstallVersion (e.g. from inside
+  // LogAndApply itself, or before background threads start).
+  Version* current_unlocked() const { return current_.load(std::memory_order_acquire); }
+
+  uint64_t NewFileNumber() { return next_file_number_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t ManifestFileNumber() const { return manifest_file_number_; }
+
+  SequenceNumber LastSequence() const { return last_sequence_.load(std::memory_order_acquire); }
+  void SetLastSequence(SequenceNumber s) { last_sequence_.store(s, std::memory_order_release); }
+
+  uint64_t LogNumber() const { return log_number_; }
+
+  // Pick inputs for a new compaction; nullptr if none needed. Caller owns
+  // the returned object (which pins the input version and files).
+  Compaction* PickCompaction();
+
+  // Iterator reading the entries of a compaction's inputs in merged order.
+  Iterator* MakeInputIterator(Compaction* c);
+
+  // The following readers are callable from any thread; they hold an epoch
+  // guard across the pointer load + field read so a concurrent version
+  // install cannot free the version under them.
+  bool NeedsCompaction() const;
+  int NumLevelFiles(int level) const;
+  int64_t NumLevelBytes(int level) const;
+
+  void AddLiveFiles(std::set<uint64_t>* live);
+
+  // Once disabled, dropping the last reference to a file no longer removes
+  // it from disk (used at shutdown: all files are live).
+  void SetFileDeletionEnabled(bool enabled) {
+    delete_unreferenced_files_.store(enabled, std::memory_order_release);
+  }
+
+  std::string LevelSummary() const;
+
+  uint64_t MaxFileSizeForLevel(int level) const;
+
+ private:
+  class Builder;
+  friend class Version;
+  friend class Compaction;
+
+  // Wrap a FileMetaData so that when the last Version referencing it dies,
+  // the underlying table file is deleted (unless disabled).
+  FileRef MakeFileRef(const FileMetaData& meta);
+  void OnFileUnreferenced(FileMetaData* meta);
+
+  void Finalize(Version* v);
+  void InstallVersion(Version* v);
+  Status WriteSnapshot(log::Writer* log);
+
+  void GetRange(const std::vector<FileRef>& inputs, InternalKey* smallest, InternalKey* largest);
+  void GetRange2(const std::vector<FileRef>& inputs1, const std::vector<FileRef>& inputs2,
+                 InternalKey* smallest, InternalKey* largest);
+  void GetOverlappingInputs(Version* v, int level, const InternalKey* begin,
+                            const InternalKey* end, std::vector<FileRef>* inputs);
+  void SetupOtherInputs(Compaction* c);
+
+  Env* const env_;
+  const std::string dbname_;
+  const Options* const options_;
+  TableCache* const table_cache_;
+  const InternalKeyComparator icmp_;
+  EpochManager* const epochs_;
+
+  std::atomic<uint64_t> next_file_number_;
+  uint64_t manifest_file_number_;
+  std::atomic<SequenceNumber> last_sequence_;
+  uint64_t log_number_;
+
+  // Opened lazily.
+  std::unique_ptr<WritableFile> descriptor_file_;
+  std::unique_ptr<log::Writer> descriptor_log_;
+
+  std::atomic<Version*> current_;
+  std::atomic<bool> delete_unreferenced_files_;
+  // Serializes LogAndApply (manifest append + version install) across the
+  // flush and compaction threads.
+  std::mutex apply_mutex_;
+
+  // Per-level key at which the next size-compaction should start.
+  std::string compact_pointer_[kNumLevels];
+};
+
+// A compaction in progress (or picked and about to run).
+class Compaction {
+ public:
+  ~Compaction();
+
+  Compaction(const Compaction&) = delete;
+  Compaction& operator=(const Compaction&) = delete;
+
+  // Level being compacted: inputs_[0] from level(), inputs_[1] from
+  // level()+1.
+  int level() const { return level_; }
+
+  VersionEdit* edit() { return &edit_; }
+
+  int num_input_files(int which) const { return static_cast<int>(inputs_[which].size()); }
+  FileMetaData* input(int which, int i) const { return inputs_[which][i].get(); }
+
+  uint64_t MaxOutputFileSize() const { return max_output_file_size_; }
+
+  // True if the compaction can be implemented by moving a single input file
+  // one level down without merging.
+  bool IsTrivialMove() const;
+
+  // Add all inputs as deletions to *edit.
+  void AddInputDeletions(VersionEdit* edit);
+
+  // True if all data for user_key at levels deeper than level()+1 is absent,
+  // so a deletion marker surviving to level()+1 may be dropped.
+  bool IsBaseLevelForKey(const Slice& user_key);
+
+  void ReleaseInputs();
+
+ private:
+  friend class VersionSet;
+
+  Compaction(const Options* options, int level, uint64_t max_output_file_size);
+
+  int level_;
+  uint64_t max_output_file_size_;
+  Version* input_version_;
+  VersionEdit edit_;
+
+  std::vector<FileRef> inputs_[2];
+
+  // State for IsBaseLevelForKey: position in each deeper level.
+  size_t level_ptrs_[kNumLevels];
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_LSM_VERSION_SET_H_

@@ -1,0 +1,84 @@
+// Michael–Scott style non-blocking queue specialized to many producers and
+// one consumer — the shape of the asynchronous logging path (paper §4: the
+// logging queue uses a non-blocking queue so a put only enqueues its log
+// record and proceeds at memory speed).
+//
+// Producers: lock-free Enqueue (CAS on tail). Consumer: single-threaded
+// Dequeue, so no CAS needed on head and retired nodes can be freed
+// immediately — no hazard pointers required.
+#ifndef CLSM_QUEUE_MPSC_QUEUE_H_
+#define CLSM_QUEUE_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+namespace clsm {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* dummy = new Node();
+    head_ = dummy;
+    tail_.store(dummy, std::memory_order_relaxed);
+    approx_size_.store(0, std::memory_order_relaxed);
+  }
+
+  ~MpscQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Lock-free; callable from any thread.
+  void Enqueue(T value) {
+    Node* node = new Node(std::move(value));
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    // Between the exchange and this store the queue is momentarily
+    // disconnected; the consumer observes an empty next and simply retries
+    // later — it never blocks producers.
+    prev->next.store(node, std::memory_order_release);
+    approx_size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Single-consumer only. Returns nullopt when empty (or while a producer
+  // is mid-linking, which is indistinguishable and safe).
+  std::optional<T> Dequeue() {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      return std::nullopt;
+    }
+    std::optional<T> result(std::move(next->value));
+    delete head_;
+    head_ = next;
+    approx_size_.fetch_sub(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  bool Empty() const { return head_->next.load(std::memory_order_acquire) == nullptr; }
+
+  size_t ApproxSize() const { return approx_size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    Node() : next(nullptr) {}
+    explicit Node(T v) : value(std::move(v)), next(nullptr) {}
+    T value{};
+    std::atomic<Node*> next;
+  };
+
+  Node* head_;  // consumer-owned dummy/first node
+  alignas(64) std::atomic<Node*> tail_;
+  std::atomic<size_t> approx_size_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_QUEUE_MPSC_QUEUE_H_

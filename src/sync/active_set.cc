@@ -1,0 +1,73 @@
+#include "src/sync/active_set.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace clsm {
+
+namespace {
+std::atomic<uint64_t> g_next_set_id{1};
+}  // namespace
+
+ActiveTimestampSet::ActiveTimestampSet()
+    : registered_(0), id_(g_next_set_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+int ActiveTimestampSet::SlotIndexForThisThread() {
+  // One slot per (thread, set) pair, keyed by the set's process-unique id so
+  // that a destroyed set whose address is reused never aliases a live cache
+  // entry. The common case (a thread hammering one DB) hits the one-entry
+  // fast cache; the map only backs threads that touch many stores.
+  thread_local uint64_t cached_id = 0;
+  thread_local int cached_index = -1;
+  if (cached_id == id_) {
+    return cached_index;
+  }
+  thread_local std::unordered_map<uint64_t, int> reg_map;
+  auto it = reg_map.find(id_);
+  int index;
+  if (it != reg_map.end()) {
+    index = it->second;
+  } else {
+    index = registered_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= kMaxThreads) {
+      fprintf(stderr, "ActiveTimestampSet: too many threads (max %d)\n", kMaxThreads);
+      abort();
+    }
+    reg_map.emplace(id_, index);
+  }
+  cached_id = id_;
+  cached_index = index;
+  return index;
+}
+
+void ActiveTimestampSet::Add(uint64_t ts) {
+  assert(ts != kNone);
+  Slot& slot = slots_[SlotIndexForThisThread()];
+  assert(slot.ts.load(std::memory_order_relaxed) == kNone);
+  // seq_cst: the Add must be globally ordered against getSnap's read of the
+  // time counter and scan of the set (the Figure 4 race).
+  slot.ts.store(ts, std::memory_order_seq_cst);
+}
+
+void ActiveTimestampSet::Remove(uint64_t ts) {
+  Slot& slot = slots_[SlotIndexForThisThread()];
+  assert(slot.ts.load(std::memory_order_relaxed) == ts);
+  (void)ts;
+  slot.ts.store(kNone, std::memory_order_release);
+}
+
+uint64_t ActiveTimestampSet::FindMin() const {
+  const int n = registered_.load(std::memory_order_acquire);
+  uint64_t min = kNone;
+  for (int i = 0; i < n; i++) {
+    uint64_t ts = slots_[i].ts.load(std::memory_order_seq_cst);
+    if (ts != kNone && (min == kNone || ts < min)) {
+      min = ts;
+    }
+  }
+  return min;
+}
+
+}  // namespace clsm

@@ -1,0 +1,56 @@
+// Non-blocking Active timestamp set (paper §3.2, Algorithm 2).
+//
+// Tracks timestamps that have been handed out by the time counter but whose
+// writes may not yet be visible in the in-memory component. getSnap uses
+// FindMin() to choose a snapshot time earlier than all in-flight puts.
+//
+// A thread holds at most one active timestamp at a time (a put/RMW attempt
+// acquires and releases it before starting another), so the set is realized
+// as one atomic slot per registered thread: Add/Remove are single stores,
+// FindMin is a wait-free scan — no blocking anywhere.
+#ifndef CLSM_SYNC_ACTIVE_SET_H_
+#define CLSM_SYNC_ACTIVE_SET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace clsm {
+
+class ActiveTimestampSet {
+ public:
+  static constexpr uint64_t kNone = 0;
+  static constexpr int kMaxThreads = 512;
+
+  ActiveTimestampSet();
+
+  ActiveTimestampSet(const ActiveTimestampSet&) = delete;
+  ActiveTimestampSet& operator=(const ActiveTimestampSet&) = delete;
+
+  // Publish ts as active for the calling thread. ts must be non-zero and the
+  // thread's slot must currently be empty.
+  void Add(uint64_t ts);
+
+  // Clear the calling thread's active timestamp. ts must match the value
+  // previously Added (checked in debug builds).
+  void Remove(uint64_t ts);
+
+  // Minimum timestamp currently in the set, or kNone if empty. A concurrent
+  // Add may be missed only if it started after the scan began — exactly the
+  // race Algorithm 2 closes on the put side (getTS re-checks snapTime).
+  uint64_t FindMin() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> ts{kNone};
+  };
+
+  int SlotIndexForThisThread();
+
+  Slot slots_[kMaxThreads];
+  std::atomic<int> registered_;
+  const uint64_t id_;  // process-unique; keys the per-thread slot cache
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_SYNC_ACTIVE_SET_H_

@@ -1,0 +1,78 @@
+#include "src/sync/ref_guard.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+
+namespace clsm {
+
+namespace {
+std::atomic<uint64_t> g_next_epoch_mgr_id{1};
+}  // namespace
+
+EpochManager::EpochManager()
+    : global_epoch_(1), registered_(0), id_(g_next_epoch_mgr_id.fetch_add(1)) {}
+
+EpochManager::Slot* EpochManager::SlotForThisThread() {
+  thread_local uint64_t cached_id = 0;
+  thread_local Slot* cached_slot = nullptr;
+  if (cached_id == id_) {
+    return cached_slot;
+  }
+  thread_local std::unordered_map<uint64_t, Slot*> reg_map;
+  auto it = reg_map.find(id_);
+  Slot* slot;
+  if (it != reg_map.end()) {
+    slot = it->second;
+  } else {
+    int index = registered_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= kMaxThreads) {
+      fprintf(stderr, "EpochManager: too many threads (max %d)\n", kMaxThreads);
+      abort();
+    }
+    slot = &slots_[index];
+    reg_map.emplace(id_, slot);
+  }
+  cached_id = id_;
+  cached_slot = slot;
+  return slot;
+}
+
+void EpochManager::Enter() {
+  Slot* slot = SlotForThisThread();
+  uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+  // seq_cst store: must be globally visible before the reader dereferences
+  // the component pointers, and ordered against Synchronize()'s epoch bump.
+  slot->epoch.store(e, std::memory_order_seq_cst);
+  // Re-read: if the global epoch advanced between our load and publish, our
+  // published value may be stale-low; refresh so Synchronize() never waits
+  // on a reader that actually entered after the bump.
+  uint64_t e2 = global_epoch_.load(std::memory_order_seq_cst);
+  if (e2 != e) {
+    slot->epoch.store(e2, std::memory_order_seq_cst);
+  }
+}
+
+void EpochManager::Exit() {
+  SlotForThisThread()->epoch.store(0, std::memory_order_release);
+}
+
+void EpochManager::Synchronize() {
+  const uint64_t barrier = global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  const int n = registered_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; i++) {
+    int spins = 0;
+    while (true) {
+      uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+      if (e == 0 || e >= barrier) {
+        break;
+      }
+      if (++spins > 128) {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+}  // namespace clsm

@@ -1,0 +1,90 @@
+// RCU-like protection for the global component pointers (paper §3.1).
+//
+// The paper protects Pm/P'm with per-component reference counters plus an
+// RCU-style mechanism guarding the short window in which a pointer is read
+// and its reference counter incremented. We realize that as epoch-based
+// quiescence: a reader enters a critical section (one store to its own
+// cache-line-private slot), loads the pointers, bumps the components'
+// refcounts, and exits. The merge thread, after unlinking a component,
+// waits for a grace period — every slot quiescent or entered after the
+// unlink — before dropping the store's own reference. Components are freed
+// when their count reaches zero. Readers never block; only the background
+// merge thread ever waits.
+#ifndef CLSM_SYNC_REF_GUARD_H_
+#define CLSM_SYNC_REF_GUARD_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace clsm {
+
+class EpochManager {
+ public:
+  static constexpr int kMaxThreads = 512;
+
+  EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Enter/Exit a read-side critical section. Wait-free.
+  void Enter();
+  void Exit();
+
+  // Writer side: returns only when every reader critical section that was
+  // active at call time has exited. Readers entering afterwards are not
+  // waited for. Called by the merge thread only; may spin.
+  void Synchronize();
+
+ private:
+  struct alignas(64) Slot {
+    // 0 = quiescent; otherwise the epoch observed at Enter().
+    std::atomic<uint64_t> epoch{0};
+  };
+
+  Slot* SlotForThisThread();
+
+  std::atomic<uint64_t> global_epoch_;
+  Slot slots_[kMaxThreads];
+  std::atomic<int> registered_;
+  const uint64_t id_;
+};
+
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager& mgr) : mgr_(mgr) { mgr_.Enter(); }
+  ~EpochGuard() { mgr_.Exit(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager& mgr_;
+};
+
+// Intrusive atomic reference count for memory components. Objects start
+// with one reference owned by their creator.
+class RefCounted {
+ public:
+  RefCounted() : refs_(1) {}
+  virtual ~RefCounted() = default;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+
+  void Unref() {
+    int prev = refs_.fetch_sub(1, std::memory_order_acq_rel);
+    assert(prev >= 1);
+    if (prev == 1) {
+      delete this;
+    }
+  }
+
+  int RefsForTest() const { return refs_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<int> refs_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_SYNC_REF_GUARD_H_

@@ -1,0 +1,66 @@
+#include "src/sync/shared_exclusive_lock.h"
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define CLSM_CPU_RELAX() _mm_pause()
+#else
+#define CLSM_CPU_RELAX() std::this_thread::yield()
+#endif
+
+namespace clsm {
+
+namespace {
+// Spin briefly before yielding to the scheduler; exclusive sections are a
+// few pointer swaps so holders exit quickly.
+class Backoff {
+ public:
+  void Pause() {
+    if (spins_++ < 64) {
+      CLSM_CPU_RELAX();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  int spins_ = 0;
+};
+}  // namespace
+
+void SharedExclusiveLock::LockShared() {
+  Backoff backoff;
+  while (true) {
+    // Exclusive preference: do not even attempt while a writer waits.
+    if (exclusive_waiting_.load(std::memory_order_acquire) > 0) {
+      backoff.Pause();
+      continue;
+    }
+    int32_t s = state_.load(std::memory_order_acquire);
+    if (s >= 0 &&
+        state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+    backoff.Pause();
+  }
+}
+
+void SharedExclusiveLock::UnlockShared() { state_.fetch_sub(1, std::memory_order_release); }
+
+void SharedExclusiveLock::LockExclusive() {
+  exclusive_waiting_.fetch_add(1, std::memory_order_acq_rel);
+  Backoff backoff;
+  int32_t expected = 0;
+  while (!state_.compare_exchange_weak(expected, -1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+    expected = 0;
+    backoff.Pause();
+  }
+  exclusive_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void SharedExclusiveLock::UnlockExclusive() { state_.store(0, std::memory_order_release); }
+
+}  // namespace clsm

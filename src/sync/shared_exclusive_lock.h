@@ -1,0 +1,67 @@
+// Writer-preferring shared-exclusive lock (paper §3.1).
+//
+// Puts hold the lock in shared mode; beforeMerge/afterMerge hold it in
+// exclusive mode for a handful of pointer swaps. The implementation prefers
+// exclusive lockers (shared acquisition spins while an exclusive request is
+// pending) so the merge process cannot starve behind a stream of puts, as
+// the paper requires. Shared acquisitions never block each other.
+#ifndef CLSM_SYNC_SHARED_EXCLUSIVE_LOCK_H_
+#define CLSM_SYNC_SHARED_EXCLUSIVE_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace clsm {
+
+class SharedExclusiveLock {
+ public:
+  SharedExclusiveLock() : state_(0), exclusive_waiting_(0) {}
+
+  SharedExclusiveLock(const SharedExclusiveLock&) = delete;
+  SharedExclusiveLock& operator=(const SharedExclusiveLock&) = delete;
+
+  void LockShared();
+  void UnlockShared();
+
+  void LockExclusive();
+  void UnlockExclusive();
+
+  // Test-only visibility.
+  bool ExclusiveHeldForTest() const { return state_.load(std::memory_order_acquire) < 0; }
+  int32_t SharedCountForTest() const {
+    int32_t s = state_.load(std::memory_order_acquire);
+    return s < 0 ? 0 : s;
+  }
+
+ private:
+  // state_ >= 0: number of shared holders; state_ == -1: exclusive held.
+  std::atomic<int32_t> state_;
+  std::atomic<int32_t> exclusive_waiting_;
+};
+
+// RAII helpers.
+class SharedLockGuard {
+ public:
+  explicit SharedLockGuard(SharedExclusiveLock& lock) : lock_(lock) { lock_.LockShared(); }
+  ~SharedLockGuard() { lock_.UnlockShared(); }
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+ private:
+  SharedExclusiveLock& lock_;
+};
+
+class ExclusiveLockGuard {
+ public:
+  explicit ExclusiveLockGuard(SharedExclusiveLock& lock) : lock_(lock) { lock_.LockExclusive(); }
+  ~ExclusiveLockGuard() { lock_.UnlockExclusive(); }
+  ExclusiveLockGuard(const ExclusiveLockGuard&) = delete;
+  ExclusiveLockGuard& operator=(const ExclusiveLockGuard&) = delete;
+
+ private:
+  SharedExclusiveLock& lock_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_SYNC_SHARED_EXCLUSIVE_LOCK_H_

@@ -1,0 +1,32 @@
+// Global monotonically increasing timestamp counter (paper §3.2). Puts
+// atomically increment-and-get; getSnap reads. Non-blocking by construction.
+#ifndef CLSM_SYNC_TIME_COUNTER_H_
+#define CLSM_SYNC_TIME_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace clsm {
+
+class TimeCounter {
+ public:
+  explicit TimeCounter(uint64_t initial = 0) : value_(initial) {}
+
+  uint64_t IncAndGet() { return value_.fetch_add(1, std::memory_order_seq_cst) + 1; }
+  uint64_t Get() const { return value_.load(std::memory_order_seq_cst); }
+
+  // Recovery: jump forward to at least v (never moves backward).
+  void AdvanceTo(uint64_t v) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_seq_cst)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_SYNC_TIME_COUNTER_H_

@@ -1,0 +1,49 @@
+// Builds prefix-compressed key/value blocks with restart points, the
+// LevelDB data-block format our disk component stores.
+#ifndef CLSM_TABLE_BLOCK_BUILDER_H_
+#define CLSM_TABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace clsm {
+
+struct Options;
+class Comparator;
+
+class BlockBuilder {
+ public:
+  BlockBuilder(const Options* options, const Comparator* comparator);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  // REQUIRES: key is larger than any previously added key.
+  void Add(const Slice& key, const Slice& value);
+
+  // Finish building and return a slice referring to block contents, valid
+  // until Reset().
+  Slice Finish();
+
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const Options* options_;
+  const Comparator* comparator_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;  // entries emitted since last restart
+  bool finished_;
+  std::string last_key_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_TABLE_BLOCK_BUILDER_H_

@@ -1,0 +1,54 @@
+// Per-table filter block: one Bloom filter per 2 KiB range of file offsets,
+// enabling point lookups to skip data-block reads (LevelDB format).
+#ifndef CLSM_TABLE_FILTER_BLOCK_H_
+#define CLSM_TABLE_FILTER_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/table/bloom.h"
+#include "src/util/slice.h"
+
+namespace clsm {
+
+class FilterBlockBuilder {
+ public:
+  explicit FilterBlockBuilder(const FilterPolicy* policy);
+
+  FilterBlockBuilder(const FilterBlockBuilder&) = delete;
+  FilterBlockBuilder& operator=(const FilterBlockBuilder&) = delete;
+
+  void StartBlock(uint64_t block_offset);
+  void AddKey(const Slice& key);
+  Slice Finish();
+
+ private:
+  void GenerateFilter();
+
+  const FilterPolicy* policy_;
+  std::string keys_;             // Flattened key contents
+  std::vector<size_t> start_;    // Starting index in keys_ of each key
+  std::string result_;           // Filter data computed so far
+  std::vector<Slice> tmp_keys_;  // policy_->CreateFilter() argument
+  std::vector<uint32_t> filter_offsets_;
+};
+
+class FilterBlockReader {
+ public:
+  // contents must outlive *this.
+  FilterBlockReader(const FilterPolicy* policy, const Slice& contents);
+  bool KeyMayMatch(uint64_t block_offset, const Slice& key);
+
+ private:
+  const FilterPolicy* policy_;
+  const char* data_;    // Filter data (at block-start)
+  const char* offset_;  // Beginning of offset array (at block-end)
+  size_t num_;          // Number of entries in offset array
+  size_t base_lg_;      // Encoding parameter (see kFilterBaseLg)
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_TABLE_FILTER_BLOCK_H_

@@ -1,0 +1,53 @@
+// Iterator abstraction shared by memtable, block, table, and merged views.
+// Follows LevelDB's contract: position-based, with key()/value() valid only
+// while Valid(). CleanupFunctions let an iterator pin resources (cache
+// handles, memtable references) for exactly its own lifetime.
+#ifndef CLSM_TABLE_ITERATOR_H_
+#define CLSM_TABLE_ITERATOR_H_
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace clsm {
+
+class Iterator {
+ public:
+  Iterator();
+  virtual ~Iterator();
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+
+  using CleanupFunction = void (*)(void* arg1, void* arg2);
+  void RegisterCleanup(CleanupFunction function, void* arg1, void* arg2);
+
+ private:
+  struct CleanupNode {
+    CleanupFunction function;
+    void* arg1;
+    void* arg2;
+    CleanupNode* next;
+
+    bool IsEmpty() const { return function == nullptr; }
+    void Run() { (*function)(arg1, arg2); }
+  };
+  CleanupNode cleanup_head_;
+};
+
+// Iterator over nothing, in the given (usually error) state.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace clsm
+
+#endif  // CLSM_TABLE_ITERATOR_H_

@@ -1,0 +1,19 @@
+// K-way merging iterator over children in comparator order — the heart of
+// both the merge (compaction) procedure (§2.3) and multi-component scans.
+#ifndef CLSM_TABLE_MERGING_ITERATOR_H_
+#define CLSM_TABLE_MERGING_ITERATOR_H_
+
+namespace clsm {
+
+class Comparator;
+class Iterator;
+
+// Returns an iterator yielding the union of children[0..n-1] in sorted
+// order. Takes ownership of the child iterators. Ties (equal keys across
+// children) yield the entry from the earlier child first, so callers should
+// order children newest component first.
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children, int n);
+
+}  // namespace clsm
+
+#endif  // CLSM_TABLE_MERGING_ITERATOR_H_

@@ -1,0 +1,406 @@
+#include "src/table/table.h"
+
+#include "src/table/block.h"
+#include "src/table/filter_block.h"
+#include "src/util/coding.h"
+
+namespace clsm {
+
+struct Table::Rep {
+  ~Rep() {
+    delete filter;
+    delete[] filter_data;
+    delete index_block;
+  }
+
+  Options options;
+  const Comparator* comparator;
+  const FilterPolicy* filter_policy;
+  Cache* block_cache;
+  Status status;
+  RandomAccessFile* file;
+  uint64_t cache_id;
+  FilterBlockReader* filter;
+  const char* filter_data;
+
+  BlockHandle metaindex_handle;  // Handle to metaindex_block: saved from footer
+  Block* index_block;
+};
+
+Status Table::Open(const Options& options, const Comparator* comparator,
+                   const FilterPolicy* filter_policy, Cache* block_cache, RandomAccessFile* file,
+                   uint64_t size, Table** table) {
+  *table = nullptr;
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength, &footer_input,
+                        footer_space);
+  if (!s.ok()) {
+    return s;
+  }
+
+  Footer footer;
+  Slice footer_slice = footer_input;
+  s = footer.DecodeFrom(&footer_slice);
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Read the index block.
+  BlockContents index_block_contents;
+  ReadOptions opt;
+  if (options.paranoid_checks) {
+    opt.verify_checksums = true;
+  }
+  s = ReadBlock(file, opt, footer.index_handle(), &index_block_contents);
+  if (!s.ok()) {
+    return s;
+  }
+
+  Rep* rep = new Table::Rep;
+  rep->options = options;
+  rep->comparator = comparator;
+  rep->filter_policy = filter_policy;
+  rep->block_cache = block_cache;
+  rep->file = file;
+  rep->metaindex_handle = footer.metaindex_handle();
+  rep->index_block = new Block(index_block_contents);
+  rep->cache_id = (block_cache != nullptr ? block_cache->NewId() : 0);
+  rep->filter_data = nullptr;
+  rep->filter = nullptr;
+  *table = new Table(rep);
+  (*table)->ReadMeta(footer);
+  return Status::OK();
+}
+
+void Table::ReadMeta(const Footer& footer) {
+  if (rep_->filter_policy == nullptr) {
+    return;  // Do not need any metadata
+  }
+
+  ReadOptions opt;
+  if (rep_->options.paranoid_checks) {
+    opt.verify_checksums = true;
+  }
+  BlockContents contents;
+  if (!ReadBlock(rep_->file, opt, footer.metaindex_handle(), &contents).ok()) {
+    // Do not propagate errors since meta info is not needed for operation.
+    return;
+  }
+  Block* meta = new Block(contents);
+
+  Iterator* iter = meta->NewIterator(BytewiseComparator());
+  std::string key = "filter.";
+  key.append(rep_->filter_policy->Name());
+  iter->Seek(key);
+  if (iter->Valid() && iter->key() == Slice(key)) {
+    ReadFilter(iter->value());
+  }
+  delete iter;
+  delete meta;
+}
+
+void Table::ReadFilter(const Slice& filter_handle_value) {
+  Slice v = filter_handle_value;
+  BlockHandle filter_handle;
+  if (!filter_handle.DecodeFrom(&v).ok()) {
+    return;
+  }
+
+  ReadOptions opt;
+  if (rep_->options.paranoid_checks) {
+    opt.verify_checksums = true;
+  }
+  BlockContents block;
+  if (!ReadBlock(rep_->file, opt, filter_handle, &block).ok()) {
+    return;
+  }
+  if (block.heap_allocated) {
+    rep_->filter_data = block.data.data();  // Will need to delete later
+  }
+  rep_->filter = new FilterBlockReader(rep_->filter_policy, block.data);
+}
+
+Table::~Table() { delete rep_; }
+
+static void DeleteBlock(void* arg, void* ignored) { delete reinterpret_cast<Block*>(arg); }
+
+static void DeleteCachedBlock(const Slice& key, void* value) {
+  Block* block = reinterpret_cast<Block*>(value);
+  delete block;
+}
+
+static void ReleaseBlock(void* arg, void* h) {
+  Cache* cache = reinterpret_cast<Cache*>(arg);
+  Cache::Handle* handle = reinterpret_cast<Cache::Handle*>(h);
+  cache->Release(handle);
+}
+
+// Converts an index iterator value (an encoded BlockHandle) into an iterator
+// over the contents of the corresponding block, consulting the block cache.
+Iterator* Table::BlockReader(void* arg, const ReadOptions& options, const Slice& index_value) {
+  Table* table = reinterpret_cast<Table*>(arg);
+  Cache* block_cache = table->rep_->block_cache;
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+
+  BlockHandle handle;
+  Slice input = index_value;
+  Status s = handle.DecodeFrom(&input);
+
+  if (s.ok()) {
+    BlockContents contents;
+    if (block_cache != nullptr) {
+      char cache_key_buffer[16];
+      EncodeFixed64(cache_key_buffer, table->rep_->cache_id);
+      EncodeFixed64(cache_key_buffer + 8, handle.offset());
+      Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+      cache_handle = block_cache->Lookup(key);
+      if (cache_handle != nullptr) {
+        block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+      } else {
+        s = ReadBlock(table->rep_->file, options, handle, &contents);
+        if (s.ok()) {
+          block = new Block(contents);
+          if (contents.cachable && options.fill_cache) {
+            cache_handle = block_cache->Insert(key, block, block->size(), &DeleteCachedBlock);
+          }
+        }
+      }
+    } else {
+      s = ReadBlock(table->rep_->file, options, handle, &contents);
+      if (s.ok()) {
+        block = new Block(contents);
+      }
+    }
+  }
+
+  Iterator* iter;
+  if (block != nullptr) {
+    iter = block->NewIterator(table->rep_->comparator);
+    if (cache_handle == nullptr) {
+      iter->RegisterCleanup(&DeleteBlock, block, nullptr);
+    } else {
+      iter->RegisterCleanup(&ReleaseBlock, block_cache, cache_handle);
+    }
+  } else {
+    iter = NewErrorIterator(s);
+  }
+  return iter;
+}
+
+Iterator* Table::NewIterator(const ReadOptions& options) const {
+  return NewTwoLevelIterator(rep_->index_block->NewIterator(rep_->comparator),
+                             &Table::BlockReader, const_cast<Table*>(this), options);
+}
+
+Status Table::InternalGet(const ReadOptions& options, const Slice& k, void* arg,
+                          void (*handle_result)(void*, const Slice&, const Slice&)) {
+  Status s;
+  Iterator* iiter = rep_->index_block->NewIterator(rep_->comparator);
+  iiter->Seek(k);
+  if (iiter->Valid()) {
+    Slice handle_value = iiter->value();
+    FilterBlockReader* filter = rep_->filter;
+    BlockHandle handle;
+    if (filter != nullptr && handle.DecodeFrom(&handle_value).ok() &&
+        !filter->KeyMayMatch(handle.offset(), k)) {
+      // Not found: the Bloom filter rules the key out without any I/O.
+    } else {
+      Iterator* block_iter = BlockReader(this, options, iiter->value());
+      block_iter->Seek(k);
+      if (block_iter->Valid()) {
+        (*handle_result)(arg, block_iter->key(), block_iter->value());
+      }
+      s = block_iter->status();
+      delete block_iter;
+    }
+  }
+  if (s.ok()) {
+    s = iiter->status();
+  }
+  delete iiter;
+  return s;
+}
+
+uint64_t Table::ApproximateOffsetOf(const Slice& key) const {
+  Iterator* index_iter = rep_->index_block->NewIterator(rep_->comparator);
+  index_iter->Seek(key);
+  uint64_t result;
+  if (index_iter->Valid()) {
+    BlockHandle handle;
+    Slice input = index_iter->value();
+    Status s = handle.DecodeFrom(&input);
+    if (s.ok()) {
+      result = handle.offset();
+    } else {
+      // Strange: we can't decode the block handle in the index block.
+      // We'll just return the offset of the metaindex block, which is
+      // close to the whole file size for this case.
+      result = rep_->metaindex_handle.offset();
+    }
+  } else {
+    // key is past the last key in the file.  Approximate the offset
+    // by returning the offset of the metaindex block (which is
+    // right near the end of the file).
+    result = rep_->metaindex_handle.offset();
+  }
+  delete index_iter;
+  return result;
+}
+
+namespace {
+
+typedef Iterator* (*BlockFunction)(void*, const ReadOptions&, const Slice&);
+
+class TwoLevelIterator final : public Iterator {
+ public:
+  TwoLevelIterator(Iterator* index_iter, BlockFunction block_function, void* arg,
+                   const ReadOptions& options)
+      : block_function_(block_function),
+        arg_(arg),
+        options_(options),
+        index_iter_(index_iter),
+        data_iter_(nullptr) {}
+
+  ~TwoLevelIterator() override {
+    delete index_iter_;
+    delete data_iter_;
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) {
+      data_iter_->Seek(target);
+    }
+    SkipEmptyDataBlocksForward();
+  }
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) {
+      data_iter_->SeekToFirst();
+    }
+    SkipEmptyDataBlocksForward();
+  }
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (data_iter_ != nullptr) {
+      data_iter_->SeekToLast();
+    }
+    SkipEmptyDataBlocksBackward();
+  }
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+  void Prev() override {
+    assert(Valid());
+    data_iter_->Prev();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  bool Valid() const override { return data_iter_ != nullptr && data_iter_->Valid(); }
+  Slice key() const override {
+    assert(Valid());
+    return data_iter_->key();
+  }
+  Slice value() const override {
+    assert(Valid());
+    return data_iter_->value();
+  }
+  Status status() const override {
+    if (!index_iter_->status().ok()) {
+      return index_iter_->status();
+    } else if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    } else {
+      return status_;
+    }
+  }
+
+ private:
+  void SaveError(const Status& s) {
+    if (status_.ok() && !s.ok()) {
+      status_ = s;
+    }
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) {
+        data_iter_->SeekToFirst();
+      }
+    }
+  }
+
+  void SkipEmptyDataBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (data_iter_ != nullptr) {
+        data_iter_->SeekToLast();
+      }
+    }
+  }
+
+  void SetDataIterator(Iterator* data_iter) {
+    if (data_iter_ != nullptr) {
+      SaveError(data_iter_->status());
+      delete data_iter_;
+    }
+    data_iter_ = data_iter;
+  }
+
+  void InitDataBlock() {
+    if (!index_iter_->Valid()) {
+      SetDataIterator(nullptr);
+    } else {
+      Slice handle = index_iter_->value();
+      if (data_iter_ != nullptr && handle.compare(data_block_handle_) == 0) {
+        // data_iter_ is already constructed with this iterator, so
+        // no need to change anything
+      } else {
+        Iterator* iter = (*block_function_)(arg_, options_, handle);
+        data_block_handle_.assign(handle.data(), handle.size());
+        SetDataIterator(iter);
+      }
+    }
+  }
+
+  BlockFunction block_function_;
+  void* arg_;
+  const ReadOptions options_;
+  Status status_;
+  Iterator* index_iter_;
+  Iterator* data_iter_;  // May be nullptr
+  // If data_iter_ is non-null, then data_block_handle_ holds the handle
+  // passed to block_function_ to create the data_iter_.
+  std::string data_block_handle_;
+};
+
+}  // namespace
+
+Iterator* NewTwoLevelIterator(Iterator* index_iter, BlockFunction block_function, void* arg,
+                              const ReadOptions& options) {
+  return new TwoLevelIterator(index_iter, block_function, arg, options);
+}
+
+}  // namespace clsm

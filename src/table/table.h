@@ -1,0 +1,68 @@
+// SSTable reader: immutable, thread-safe without external synchronization —
+// concurrent gets over the disk component never contend here (paper §2.3).
+#ifndef CLSM_TABLE_TABLE_H_
+#define CLSM_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/table/bloom.h"
+#include "src/table/cache.h"
+#include "src/table/format.h"
+#include "src/table/iterator.h"
+#include "src/util/comparator.h"
+#include "src/util/env.h"
+#include "src/util/options.h"
+
+namespace clsm {
+
+class Table {
+ public:
+  // Opens the table stored in file [0..file_size). On success *table is
+  // non-null; the Table keeps a reference to file (caller retains
+  // ownership and must keep it alive). block_cache may be null.
+  static Status Open(const Options& options, const Comparator* comparator,
+                     const FilterPolicy* filter_policy, Cache* block_cache,
+                     RandomAccessFile* file, uint64_t file_size, Table** table);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  ~Table();
+
+  // New iterator over the table contents (two-level: index then block).
+  Iterator* NewIterator(const ReadOptions&) const;
+
+  // Point lookup: seeks to the first entry >= k and, if one exists in the
+  // candidate block (after the Bloom filter check), invokes
+  // handle_result(arg, found_key, found_value).
+  Status InternalGet(const ReadOptions&, const Slice& key, void* arg,
+                     void (*handle_result)(void* arg, const Slice& k, const Slice& v));
+
+  // Approximate file offset where the data for key begins (for sizing).
+  uint64_t ApproximateOffsetOf(const Slice& key) const;
+
+ private:
+  struct Rep;
+
+  static Iterator* BlockReader(void*, const ReadOptions&, const Slice&);
+
+  explicit Table(Rep* rep) : rep_(rep) {}
+
+  void ReadMeta(const Footer& footer);
+  void ReadFilter(const Slice& filter_handle_value);
+
+  Rep* const rep_;
+};
+
+// Generic two-level iterator: an index iterator whose values are decoded by
+// block_function into data iterators. Exposed for the version-set level
+// iterators as well.
+Iterator* NewTwoLevelIterator(Iterator* index_iter,
+                              Iterator* (*block_function)(void* arg, const ReadOptions& options,
+                                                          const Slice& index_value),
+                              void* arg, const ReadOptions& options);
+
+}  // namespace clsm
+
+#endif  // CLSM_TABLE_TABLE_H_

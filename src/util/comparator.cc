@@ -1,0 +1,56 @@
+#include "src/util/comparator.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace clsm {
+
+namespace {
+
+class BytewiseComparatorImpl final : public Comparator {
+ public:
+  const char* Name() const override { return "clsm.BytewiseComparator"; }
+
+  int Compare(const Slice& a, const Slice& b) const override { return a.compare(b); }
+
+  void FindShortestSeparator(std::string* start, const Slice& limit) const override {
+    // Find length of common prefix.
+    size_t min_length = std::min(start->size(), limit.size());
+    size_t diff_index = 0;
+    while ((diff_index < min_length) && ((*start)[diff_index] == limit[diff_index])) {
+      diff_index++;
+    }
+    if (diff_index >= min_length) {
+      // One string is a prefix of the other; do not shorten.
+      return;
+    }
+    uint8_t diff_byte = static_cast<uint8_t>((*start)[diff_index]);
+    if (diff_byte < 0xff && diff_byte + 1 < static_cast<uint8_t>(limit[diff_index])) {
+      (*start)[diff_index]++;
+      start->resize(diff_index + 1);
+    }
+  }
+
+  void FindShortSuccessor(std::string* key) const override {
+    // Find first byte that can be incremented.
+    size_t n = key->size();
+    for (size_t i = 0; i < n; i++) {
+      const uint8_t byte = (*key)[i];
+      if (byte != 0xff) {
+        (*key)[i] = byte + 1;
+        key->resize(i + 1);
+        return;
+      }
+    }
+    // All 0xff: leave as-is (a run of 0xff sorts after most keys anyway).
+  }
+};
+
+}  // namespace
+
+const Comparator* BytewiseComparator() {
+  static BytewiseComparatorImpl singleton;
+  return &singleton;
+}
+
+}  // namespace clsm

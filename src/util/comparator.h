@@ -1,0 +1,34 @@
+// Key ordering abstraction. The table and LSM layers are generic over the
+// comparator (paper §3: the algorithm is decoupled from the component
+// implementations); the default orders bytewise.
+#ifndef CLSM_UTIL_COMPARATOR_H_
+#define CLSM_UTIL_COMPARATOR_H_
+
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace clsm {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  // Three-way comparison: <0 iff a < b, 0 iff a == b, >0 iff a > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  virtual const char* Name() const = 0;
+
+  // Advanced: used to shrink index entries in SSTables.
+  // If *start < limit, change *start to a short string in [start,limit).
+  virtual void FindShortestSeparator(std::string* start, const Slice& limit) const = 0;
+  // Change *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+// Singleton comparing byte-wise (lexicographic, unsigned).
+const Comparator* BytewiseComparator();
+
+}  // namespace clsm
+
+#endif  // CLSM_UTIL_COMPARATOR_H_

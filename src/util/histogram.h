@@ -1,0 +1,44 @@
+// Latency histogram with logarithmic-ish fixed buckets, used by the
+// benchmark harness to report the percentile series the paper plots
+// (e.g. 90th-percentile latency in Figs 5b/6b).
+#ifndef CLSM_UTIL_HISTOGRAM_H_
+#define CLSM_UTIL_HISTOGRAM_H_
+
+#include <string>
+
+namespace clsm {
+
+class Histogram {
+ public:
+  Histogram() { Clear(); }
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  double Median() const;
+  double Percentile(double p) const;
+  double Average() const;
+  double StandardDeviation() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  double Num() const { return num_; }
+
+  std::string ToString() const;
+
+ private:
+  enum { kNumBuckets = 154 };
+  static const double kBucketLimit[kNumBuckets];
+
+  double min_;
+  double max_;
+  double num_;
+  double sum_;
+  double sum_squares_;
+
+  double buckets_[kNumBuckets];
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_UTIL_HISTOGRAM_H_

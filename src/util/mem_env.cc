@@ -1,0 +1,240 @@
+#include "src/util/mem_env.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace clsm {
+
+namespace {
+
+// Reference-counted file contents: open readers keep a file alive even if
+// it is concurrently removed (POSIX unlink semantics).
+class FileState {
+ public:
+  FileState() : refs_(0) {}
+
+  FileState(const FileState&) = delete;
+  FileState& operator=(const FileState&) = delete;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+    }
+  }
+
+  uint64_t Size() const {
+    std::lock_guard<std::mutex> l(mutex_);
+    return data_.size();
+  }
+
+  void Truncate() {
+    std::lock_guard<std::mutex> l(mutex_);
+    data_.clear();
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (offset > data_.size()) {
+      return Status::IOError("offset past end of file");
+    }
+    const size_t available = data_.size() - static_cast<size_t>(offset);
+    n = std::min(n, available);
+    if (n > 0) {
+      memcpy(scratch, data_.data() + offset, n);
+    }
+    *result = Slice(scratch, n);
+    return Status::OK();
+  }
+
+  Status Append(const Slice& data) {
+    std::lock_guard<std::mutex> l(mutex_);
+    data_.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+ private:
+  ~FileState() = default;
+
+  mutable std::mutex mutex_;
+  std::string data_;
+  std::atomic<int> refs_;
+};
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(FileState* file) : file_(file), pos_(0) { file_->Ref(); }
+  ~MemSequentialFile() override { file_->Unref(); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = file_->Read(pos_, n, result, scratch);
+    if (s.ok()) {
+      pos_ += result->size();
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override {
+    if (pos_ > file_->Size()) {
+      return Status::IOError("pos_ > file_->Size()");
+    }
+    const uint64_t available = file_->Size() - pos_;
+    pos_ += std::min(n, available);
+    return Status::OK();
+  }
+
+ private:
+  FileState* file_;
+  uint64_t pos_;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(FileState* file) : file_(file) { file_->Ref(); }
+  ~MemRandomAccessFile() override { file_->Unref(); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    return file_->Read(offset, n, result, scratch);
+  }
+
+ private:
+  FileState* file_;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(FileState* file) : file_(file) { file_->Ref(); }
+  ~MemWritableFile() override { file_->Unref(); }
+
+  Status Append(const Slice& data) override { return file_->Append(data); }
+  Status Close() override { return Status::OK(); }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  FileState* file_;
+};
+
+class MemEnv final : public Env {
+ public:
+  explicit MemEnv(Env* base_env) : base_env_(base_env) {}
+
+  ~MemEnv() override {
+    for (auto& [path, file] : files_) {
+      file->Unref();
+    }
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      result->reset();
+      return Status::NotFound(fname, "file not found");
+    }
+    result->reset(new MemSequentialFile(it->second));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      result->reset();
+      return Status::NotFound(fname, "file not found");
+    }
+    result->reset(new MemRandomAccessFile(it->second));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    auto it = files_.find(fname);
+    FileState* file;
+    if (it == files_.end()) {
+      file = new FileState();
+      file->Ref();  // map's reference
+      files_[fname] = file;
+    } else {
+      file = it->second;
+      file->Truncate();
+    }
+    result->reset(new MemWritableFile(file));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    return files_.count(fname) > 0;
+  }
+
+  Status GetChildren(const std::string& dir, std::vector<std::string>* result) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    result->clear();
+    const std::string prefix = dir + "/";
+    for (const auto& [path, file] : files_) {
+      if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+          path.find('/', prefix.size()) == std::string::npos) {
+        result->push_back(path.substr(prefix.size()));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::NotFound(fname, "file not found");
+    }
+    it->second->Unref();
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override { return Status::OK(); }
+  Status RemoveDir(const std::string& dirname) override { return Status::OK(); }
+
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::NotFound(fname, "file not found");
+    }
+    *file_size = it->second->Size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    auto it = files_.find(src);
+    if (it == files_.end()) {
+      return Status::NotFound(src, "file not found");
+    }
+    auto existing = files_.find(target);
+    if (existing != files_.end()) {
+      existing->second->Unref();
+      files_.erase(existing);
+    }
+    files_[target] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  uint64_t NowMicros() override { return base_env_->NowMicros(); }
+
+ private:
+  Env* base_env_;
+  std::mutex mutex_;
+  std::map<std::string, FileState*> files_;
+};
+
+}  // namespace
+
+Env* NewMemEnv(Env* base_env) { return new MemEnv(base_env); }
+
+}  // namespace clsm

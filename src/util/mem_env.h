@@ -1,0 +1,24 @@
+// In-memory Env: a complete filesystem implementation backed by RAM.
+// Useful for hermetic, disk-free tests and for measuring pure in-memory
+// concurrency without any I/O variance (the paper's CPU-bound regime,
+// §5.1, taken to its limit).
+#ifndef CLSM_UTIL_MEM_ENV_H_
+#define CLSM_UTIL_MEM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/env.h"
+
+namespace clsm {
+
+// Creates a fresh, empty in-memory environment. Thread-safe. base_env is
+// used only for NowMicros. Caller owns the result.
+Env* NewMemEnv(Env* base_env);
+
+}  // namespace clsm
+
+#endif  // CLSM_UTIL_MEM_ENV_H_

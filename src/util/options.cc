@@ -1,0 +1,5 @@
+#include "src/util/options.h"
+
+// Options is a plain aggregate; this translation unit exists so the library
+// has a stable home for future out-of-line option helpers.
+namespace clsm {}  // namespace clsm

@@ -1,0 +1,94 @@
+// Store-wide configuration knobs. Defaults mirror the paper's experimental
+// setup (§5): 128 MiB memtable (scaled down by benchmarks when appropriate),
+// 64 KiB blocks, Bloom filters, asynchronous logging.
+#ifndef CLSM_UTIL_OPTIONS_H_
+#define CLSM_UTIL_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace clsm {
+
+class Comparator;
+class Env;
+class Snapshot;
+class BlockCache;
+
+struct Options {
+  // Comparator used to order user keys. Must outlive the DB.
+  const Comparator* comparator = nullptr;  // nullptr => BytewiseComparator()
+
+  Env* env = nullptr;  // nullptr => Env::Default()
+
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+  // Verify SSTable block checksums on every read.
+  bool paranoid_checks = false;
+
+  // Size threshold (bytes) at which the mutable memtable Cm is sealed and
+  // handed to the merge (flush) process. Paper default: 128 MiB.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  // Approximate SSTable data-block size before compression framing.
+  size_t block_size = 4 * 1024;
+  int block_restart_interval = 16;
+
+  // Bloom filter bits per key; 0 disables filters.
+  int bloom_bits_per_key = 10;
+
+  // Capacity of the shared block cache in bytes; 0 disables caching.
+  size_t block_cache_size = 8 * 1024 * 1024;
+
+  // Target file size for level-1 files; level L targets grow by
+  // level_size_multiplier per level.
+  uint64_t target_file_size = 2 * 1024 * 1024;
+  int num_levels = 7;
+  // Total-bytes target of level 1; each deeper level is 10x larger.
+  uint64_t level1_max_bytes = 10 * 1024 * 1024;
+  // Number of L0 files that triggers a compaction into L1.
+  int l0_compaction_trigger = 4;
+  // Number of L0 files at which writers are slowed / stalled.
+  int l0_slowdown_trigger = 8;
+  int l0_stop_trigger = 12;
+
+  // If true, every put is durably logged before returning (synchronous
+  // logging). If false (paper default), log records are queued and written
+  // by a background logger thread; a crash may lose the most recent writes.
+  bool sync_logging = false;
+  // Disable the write-ahead log entirely (benchmarks that measure pure
+  // in-memory concurrency use this, as in-memory rate is the subject of
+  // study and both systems pay the same logging cost otherwise).
+  bool disable_wal = false;
+
+  // Number of background compaction threads. The paper uses 1 everywhere
+  // except §5.3 where RocksDB uses several.
+  int compaction_threads = 1;
+
+  // Dedicate a separate background thread to memtable flushes so heavy
+  // disk compactions never delay the Cm -> C'm roll (the "some thread is
+  // always reserved for flushing" RocksDB configuration of §5.3/§6).
+  bool dedicated_flush_thread = false;
+
+  // Make snapshot acquisition linearizable instead of merely serializable:
+  // getSnap waits until it can choose a snapshot time no smaller than the
+  // time counter at the start of the call (paper §3.2.1: achieved by
+  // omitting the Active-set adjustment, at the cost of waiting out
+  // in-flight puts). Off by default, matching the paper's evaluation.
+  bool linearizable_snapshots = false;
+};
+
+struct ReadOptions {
+  bool verify_checksums = false;
+  bool fill_cache = true;
+  // If non-null, read as of this snapshot; otherwise read latest state.
+  const Snapshot* snapshot = nullptr;
+};
+
+struct WriteOptions {
+  // Overrides Options::sync_logging per write when true.
+  bool sync = false;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_UTIL_OPTIONS_H_

@@ -1,0 +1,76 @@
+// Fast pseudo-random generators used by the skip list (height choice) and
+// the workload generators. Deterministic given a seed, so tests and
+// benchmarks are reproducible.
+#ifndef CLSM_UTIL_RANDOM_H_
+#define CLSM_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace clsm {
+
+// Linear-congruential generator over the prime 2^31-1 (LevelDB's Random).
+class Random {
+ public:
+  explicit Random(uint32_t s) : seed_(s & 0x7fffffffu) {
+    if (seed_ == 0 || seed_ == 2147483647L) {
+      seed_ = 1;
+    }
+  }
+
+  uint32_t Next() {
+    static const uint32_t M = 2147483647L;  // 2^31-1
+    static const uint64_t A = 16807;        // bits 14, 8, 7, 5, 2, 1, 0
+    uint64_t product = seed_ * A;
+    seed_ = static_cast<uint32_t>((product >> 31) + (product & M));
+    if (seed_ > M) {
+      seed_ -= M;
+    }
+    return seed_;
+  }
+
+  // Uniform in [0, n-1]; n must be > 0.
+  uint32_t Uniform(int n) { return Next() % n; }
+
+  bool OneIn(int n) { return (Next() % n) == 0; }
+
+  // Skewed: pick base in [0, max_log], return uniform in [0, 2^base - 1].
+  uint32_t Skewed(int max_log) { return Uniform(1 << Uniform(max_log + 1)); }
+
+ private:
+  uint32_t seed_;
+};
+
+// xorshift128+ 64-bit generator for high-rate workload generation.
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed) {
+    s0_ = seed * 0x9e3779b97f4a7c15ull + 1;
+    s1_ = (seed ^ 0xda3e39cb94b95bdbull) * 0xbf58476d1ce4e5b9ull + 1;
+    // Warm up.
+    for (int i = 0; i < 8; i++) {
+      Next();
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / (1ull << 53)); }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_UTIL_RANDOM_H_

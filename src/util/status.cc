@@ -1,0 +1,47 @@
+#include "src/util/status.h"
+
+namespace clsm {
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2) : rep_(std::make_shared<Rep>()) {
+  rep_->code = code;
+  rep_->msg = msg.ToString();
+  if (!msg2.empty()) {
+    rep_->msg.append(": ");
+    rep_->msg.append(msg2.data(), msg2.size());
+  }
+}
+
+std::string Status::ToString() const {
+  if (rep_ == nullptr) {
+    return "OK";
+  }
+  const char* type = nullptr;
+  switch (rep_->code) {
+    case kOk:
+      type = "OK";
+      break;
+    case kNotFound:
+      type = "NotFound: ";
+      break;
+    case kCorruption:
+      type = "Corruption: ";
+      break;
+    case kNotSupported:
+      type = "Not implemented: ";
+      break;
+    case kInvalidArgument:
+      type = "Invalid argument: ";
+      break;
+    case kIOError:
+      type = "IO error: ";
+      break;
+    case kBusy:
+      type = "Busy: ";
+      break;
+  }
+  std::string result(type);
+  result.append(rep_->msg);
+  return result;
+}
+
+}  // namespace clsm

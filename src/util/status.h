@@ -1,0 +1,74 @@
+// Status: result of fallible operations across the store. A cheap
+// value type: OK status carries no allocation; errors carry a code and a
+// message. Modeled on LevelDB's Status per the paper's substrate.
+#ifndef CLSM_UTIL_STATUS_H_
+#define CLSM_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/util/slice.h"
+
+namespace clsm {
+
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kBusy, msg, msg2);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == kNotFound; }
+  bool IsCorruption() const { return code() == kCorruption; }
+  bool IsIOError() const { return code() == kIOError; }
+  bool IsNotSupported() const { return code() == kNotSupported; }
+  bool IsInvalidArgument() const { return code() == kInvalidArgument; }
+  bool IsBusy() const { return code() == kBusy; }
+
+  std::string ToString() const;
+
+ private:
+  enum Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+  };
+
+  struct Rep {
+    Code code;
+    std::string msg;
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code() const { return rep_ == nullptr ? kOk : rep_->code; }
+
+  std::shared_ptr<Rep> rep_;  // null means OK
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_UTIL_STATUS_H_

@@ -1,0 +1,107 @@
+#include "src/wal/async_logger.h"
+
+namespace clsm {
+
+AsyncLogger::AsyncLogger(std::unique_ptr<WritableFile> file)
+    : file_(std::move(file)),
+      writer_(file_.get()),
+      stop_(false),
+      enqueued_(0),
+      written_(0),
+      thread_([this] { BackgroundLoop(); }) {}
+
+AsyncLogger::~AsyncLogger() {
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+  thread_.join();
+  file_->Sync();
+  file_->Close();
+}
+
+void AsyncLogger::AddRecordAsync(std::string record) {
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  queue_.Enqueue(Entry{std::move(record), nullptr});
+  // Wake the logger only when it might be parked; a relaxed check keeps the
+  // hot path to an enqueue plus one load.
+  wake_cv_.notify_one();
+}
+
+Status AsyncLogger::AddRecordSync(std::string record) {
+  std::atomic<int> done{0};
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  queue_.Enqueue(Entry{std::move(record), &done});
+  wake_cv_.notify_one();
+  int spins = 0;
+  while (done.load(std::memory_order_acquire) == 0) {
+    if (++spins > 512) {
+      std::this_thread::yield();
+    }
+  }
+  return status();
+}
+
+void AsyncLogger::Drain() {
+  const uint64_t target = enqueued_.load(std::memory_order_acquire);
+  int spins = 0;
+  while (written_.load(std::memory_order_acquire) < target) {
+    wake_cv_.notify_one();
+    if (++spins > 512) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Status AsyncLogger::status() const {
+  std::lock_guard<std::mutex> l(status_mutex_);
+  return status_;
+}
+
+void AsyncLogger::BackgroundLoop() {
+  bool dirty = false;
+  while (true) {
+    std::optional<Entry> e = queue_.Dequeue();
+    if (!e.has_value()) {
+      if (dirty) {
+        Status s = file_->Flush();
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> l(status_mutex_);
+          if (status_.ok()) {
+            status_ = s;
+          }
+        }
+        dirty = false;
+        continue;  // re-check the queue before parking
+      }
+      if (stop_.load(std::memory_order_acquire) && queue_.Empty()) {
+        return;
+      }
+      std::unique_lock<std::mutex> l(wake_mutex_);
+      wake_cv_.wait_for(l, std::chrono::milliseconds(1),
+                        [this] { return !queue_.Empty() || stop_.load(); });
+      continue;
+    }
+
+    Status s = writer_.AddRecord(e->record);
+    dirty = true;
+    if (e->done != nullptr) {
+      // Sync writes: make everything up to and including this record
+      // durable before acknowledging.
+      if (s.ok()) {
+        s = file_->Sync();
+      }
+      dirty = false;
+    }
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> l(status_mutex_);
+      if (status_.ok()) {
+        status_ = s;
+      }
+    }
+    written_.fetch_add(1, std::memory_order_release);
+    if (e->done != nullptr) {
+      e->done->store(1, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace clsm

@@ -1,0 +1,75 @@
+// Asynchronous group logger (paper §4). Puts serialize their log record,
+// enqueue it on a non-blocking queue, and return immediately — writes
+// proceed at memory speed. A dedicated background thread drains the queue
+// and appends records to the WAL, so records may hit the file out of
+// timestamp order; recovery re-sorts by the embedded cLSM timestamps.
+// Synchronous writes enqueue a completion flag and wait for the logger to
+// durably sync past their record.
+#ifndef CLSM_WAL_ASYNC_LOGGER_H_
+#define CLSM_WAL_ASYNC_LOGGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/queue/mpsc_queue.h"
+#include "src/util/env.h"
+#include "src/util/status.h"
+#include "src/wal/log_writer.h"
+
+namespace clsm {
+
+class AsyncLogger {
+ public:
+  // Takes ownership of file.
+  explicit AsyncLogger(std::unique_ptr<WritableFile> file);
+
+  AsyncLogger(const AsyncLogger&) = delete;
+  AsyncLogger& operator=(const AsyncLogger&) = delete;
+
+  // Drains the queue, flushes, and stops the background thread.
+  ~AsyncLogger();
+
+  // Non-blocking: enqueue record and return. Thread-safe.
+  void AddRecordAsync(std::string record);
+
+  // Blocking: enqueue record, wait until it is durably synced. Thread-safe.
+  Status AddRecordSync(std::string record);
+
+  // Wait for everything enqueued so far to be written (not synced).
+  void Drain();
+
+  Status status() const;
+
+ private:
+  struct Entry {
+    std::string record;
+    // Non-null for sync writes: set to 1 (written+synced) by the logger.
+    std::atomic<int>* done = nullptr;
+  };
+
+  void BackgroundLoop();
+
+  MpscQueue<Entry> queue_;
+  std::unique_ptr<WritableFile> file_;
+  log::Writer writer_;
+
+  mutable std::mutex status_mutex_;
+  Status status_;
+
+  std::atomic<bool> stop_;
+  std::atomic<uint64_t> enqueued_;
+  std::atomic<uint64_t> written_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+
+  std::thread thread_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_WAL_ASYNC_LOGGER_H_

@@ -1,0 +1,32 @@
+// Write-ahead log record framing (LevelDB format): the log is a sequence of
+// 32 KiB blocks; each record is framed as
+//   checksum (4B, crc32c of type+payload) | length (2B) | type (1B) | payload
+// and fragmented across blocks as FIRST/MIDDLE/LAST when needed.
+#ifndef CLSM_WAL_LOG_FORMAT_H_
+#define CLSM_WAL_LOG_FORMAT_H_
+
+namespace clsm {
+namespace log {
+
+enum RecordType {
+  // Zero is reserved for preallocated files.
+  kZeroType = 0,
+
+  kFullType = 1,
+
+  // For fragments.
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4
+};
+static const int kMaxRecordType = kLastType;
+
+static const int kBlockSize = 32768;
+
+// Header is checksum (4 bytes), length (2 bytes), type (1 byte).
+static const int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace clsm
+
+#endif  // CLSM_WAL_LOG_FORMAT_H_

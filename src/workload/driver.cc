@@ -1,0 +1,157 @@
+#include "src/workload/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/workload/generator.h"
+
+namespace clsm {
+
+namespace {
+
+std::unique_ptr<KeyGenerator> MakeKeyGen(const WorkloadSpec& spec, uint64_t seed) {
+  switch (spec.distribution) {
+    case KeyDist::kUniform:
+      return std::make_unique<UniformGenerator>(spec.num_keys, seed);
+    case KeyDist::kHotBlock:
+      return std::make_unique<HotBlockGenerator>(spec.num_keys, spec.hot_key_fraction,
+                                                 spec.hot_op_fraction, seed);
+    case KeyDist::kZipfian:
+      return std::make_unique<ZipfianGenerator>(spec.num_keys, spec.zipf_theta, seed);
+  }
+  return nullptr;
+}
+
+struct ThreadStats {
+  uint64_t ops = 0, keys = 0;
+  uint64_t reads = 0, writes = 0, scans = 0, rmws = 0;
+  Histogram latency;
+};
+
+}  // namespace
+
+std::string DriverResult::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%.0f ops/sec (%.0f keys/sec), p50=%.1fus p90=%.1fus p99=%.1fus",
+                ops_per_sec, keys_per_sec, latency_micros.Percentile(50),
+                latency_micros.Percentile(90), latency_micros.Percentile(99));
+  return buf;
+}
+
+DriverResult RunWorkload(DB* db, const WorkloadSpec& spec, int threads, int duration_ms) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<ThreadStats> stats(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      ThreadStats& my = stats[t];
+      const uint64_t seed = spec.seed * 1000003 + t * 7919 + 1;
+      std::unique_ptr<KeyGenerator> keygen = MakeKeyGen(spec, seed);
+      ValueGenerator valgen(spec.value_size, seed ^ 0x9e3779b9);
+      Random64 mix(seed ^ 0xabcdef);
+      std::string key, value;
+      WriteOptions wo;
+      ReadOptions ro;
+
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+
+      while (!stop.load(std::memory_order_relaxed)) {
+        const double dice = mix.NextDouble();
+        const auto op_start = std::chrono::steady_clock::now();
+        if (dice < spec.write_fraction) {
+          EncodeWorkloadKey(keygen->Next(), spec.key_size, &key);
+          db->Put(wo, key, valgen.Next());
+          my.writes++;
+          my.keys++;
+        } else if (dice < spec.write_fraction + spec.rmw_fraction) {
+          // Put-if-absent flavor, as in the paper's Fig 9 workload.
+          EncodeWorkloadKey(keygen->Next(), spec.key_size, &key);
+          Slice v = valgen.Next();
+          db->ReadModifyWrite(
+              wo, key,
+              [&v](const std::optional<Slice>& cur) -> std::optional<std::string> {
+                if (cur.has_value()) {
+                  return std::nullopt;  // already present
+                }
+                return v.ToString();
+              });
+          my.rmws++;
+          my.keys++;
+        } else if (dice < spec.write_fraction + spec.rmw_fraction + spec.scan_fraction) {
+          EncodeWorkloadKey(keygen->Next(), spec.key_size, &key);
+          const int len = spec.scan_min_len +
+                          static_cast<int>(mix.Uniform(spec.scan_max_len - spec.scan_min_len + 1));
+          std::unique_ptr<Iterator> it(db->NewIterator(ro));
+          int got = 0;
+          for (it->Seek(key); it->Valid() && got < len; it->Next()) {
+            got++;
+          }
+          my.scans++;
+          my.keys += got;
+        } else {
+          EncodeWorkloadKey(keygen->Next(), spec.key_size, &key);
+          db->Get(ro, key, &value);
+          my.reads++;
+          my.keys++;
+        }
+        const auto op_end = std::chrono::steady_clock::now();
+        my.latency.Add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(op_end - op_start).count() /
+            1000.0);
+        my.ops++;
+      }
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  DriverResult result;
+  result.duration_secs = std::chrono::duration<double>(t1 - t0).count();
+  uint64_t keys = 0;
+  for (const ThreadStats& s : stats) {
+    result.total_ops += s.ops;
+    result.reads += s.reads;
+    result.writes += s.writes;
+    result.scans += s.scans;
+    result.rmws += s.rmws;
+    keys += s.keys;
+    result.latency_micros.Merge(s.latency);
+  }
+  result.ops_per_sec = result.total_ops / result.duration_secs;
+  result.keys_per_sec = keys / result.duration_secs;
+  return result;
+}
+
+Status LoadKeySpace(DB* db, uint64_t num_keys, size_t key_size, size_t value_size,
+                    uint64_t seed) {
+  ValueGenerator valgen(value_size, seed);
+  WriteOptions wo;
+  std::string key;
+  for (uint64_t i = 0; i < num_keys; i++) {
+    EncodeWorkloadKey(i, key_size, &key);
+    Status s = db->Put(wo, key, valgen.Next());
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  db->WaitForMaintenance();
+  return Status::OK();
+}
+
+}  // namespace clsm

@@ -1,0 +1,62 @@
+// Multi-threaded benchmark driver: runs an operation mix against a DB for a
+// fixed duration with N worker threads, measuring throughput and per-op
+// latency percentiles — the quantities every figure in the paper plots.
+#ifndef CLSM_WORKLOAD_DRIVER_H_
+#define CLSM_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/core/db.h"
+#include "src/util/histogram.h"
+
+namespace clsm {
+
+enum class KeyDist { kUniform, kHotBlock, kZipfian };
+
+struct WorkloadSpec {
+  // Operation mix; fractions must sum to <= 1 (remainder goes to reads).
+  double write_fraction = 0.0;
+  double rmw_fraction = 0.0;
+  double scan_fraction = 0.0;
+
+  KeyDist distribution = KeyDist::kUniform;
+  double zipf_theta = 0.99;
+  double hot_key_fraction = 0.10;  // popular blocks = 10% of the database
+  double hot_op_fraction = 0.90;   // serving 90% of reads
+
+  uint64_t num_keys = 1'000'000;
+  size_t key_size = 8;       // paper §5.1: 8-byte keys
+  size_t value_size = 256;   // paper §5.1: 256-byte values
+
+  // Range scans pick a length uniformly in [scan_min_len, scan_max_len]
+  // (paper §5.1: 10 to 20 keys).
+  int scan_min_len = 10;
+  int scan_max_len = 20;
+
+  uint64_t seed = 42;
+};
+
+struct DriverResult {
+  double ops_per_sec = 0;
+  double keys_per_sec = 0;  // scans count every key touched
+  double duration_secs = 0;
+  uint64_t total_ops = 0;
+  uint64_t reads = 0, writes = 0, scans = 0, rmws = 0;
+  Histogram latency_micros;  // merged across threads
+
+  std::string Summary() const;
+};
+
+// Runs spec against db with `threads` workers for duration_ms. The DB must
+// already contain the key space (use LoadKeySpace or a bulk load first).
+DriverResult RunWorkload(DB* db, const WorkloadSpec& spec, int threads, int duration_ms);
+
+// Sequentially loads keys [0, num_keys) with values of value_size.
+Status LoadKeySpace(DB* db, uint64_t num_keys, size_t key_size, size_t value_size,
+                    uint64_t seed = 7);
+
+}  // namespace clsm
+
+#endif  // CLSM_WORKLOAD_DRIVER_H_

@@ -1,0 +1,95 @@
+#include "src/workload/generator.h"
+
+#include <cmath>
+
+#include "src/util/coding.h"
+
+namespace clsm {
+
+void EncodeWorkloadKey(uint64_t index, size_t key_size, std::string* dst) {
+  dst->clear();
+  dst->resize(key_size, 'k');
+  // Big-endian so numeric order == bytewise order.
+  size_t n = key_size < 8 ? key_size : 8;
+  for (size_t i = 0; i < n; i++) {
+    (*dst)[n - 1 - i] = static_cast<char>((index >> (8 * i)) & 0xff);
+  }
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_keys, double theta, uint64_t seed, bool scramble)
+    : rnd_(seed), num_keys_(num_keys), theta_(theta), scramble_(scramble) {
+  zetan_ = Zeta(num_keys_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // Exact for small n, sampled approximation for large n (the tail term
+  // changes slowly; this keeps construction O(1e6) at worst).
+  double sum = 0;
+  if (n <= 10'000'000) {
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+  for (uint64_t i = 1; i <= 10'000'000; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  // Integral approximation of the remaining tail.
+  sum += (std::pow(static_cast<double>(n), 1 - theta) - std::pow(1e7, 1 - theta)) / (1 - theta);
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  // Gray et al.'s quick Zipfian sampler (as used in YCSB).
+  const double u = rnd_.NextDouble();
+  const double uz = u * zetan_;
+  uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<uint64_t>(static_cast<double>(num_keys_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= num_keys_) {
+      rank = num_keys_ - 1;
+    }
+  }
+  if (!scramble_) {
+    return rank;
+  }
+  // FNV-1a scramble so the popular ranks scatter over the key space.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; i++) {
+    h ^= (rank >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h % num_keys_;
+}
+
+ValueGenerator::ValueGenerator(size_t value_size, uint64_t seed) : value_size_(value_size) {
+  Random64 rnd(seed);
+  // A pool >= 1 MiB (and > value_size) of compressible-ish random bytes.
+  size_t pool_size = value_size_ * 16 + (1 << 20);
+  pool_.resize(pool_size);
+  for (size_t i = 0; i < pool_size; i += 8) {
+    uint64_t v = rnd.Next();
+    size_t n = std::min<size_t>(8, pool_size - i);
+    memcpy(&pool_[i], &v, n);
+  }
+}
+
+Slice ValueGenerator::Next() {
+  if (pos_ + value_size_ > pool_.size()) {
+    pos_ = 0;
+  }
+  Slice result(pool_.data() + pos_, value_size_);
+  pos_ += 37;  // sliding window => distinct values, no per-op generation
+  return result;
+}
+
+}  // namespace clsm

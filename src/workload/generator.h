@@ -1,0 +1,116 @@
+// Workload generators reproducing the paper's evaluation inputs (§5.1-§5.2):
+// uniform keys (write benchmarks), hot-block skew (90% of reads from 10% of
+// the key space), Zipfian heavy-tail distributions tuned to the production
+// statistics the paper reports, and deterministic value payloads.
+#ifndef CLSM_WORKLOAD_GENERATOR_H_
+#define CLSM_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/random.h"
+#include "src/util/slice.h"
+
+namespace clsm {
+
+// Maps a key index in [0, num_keys) to its byte representation. 8-byte
+// big-endian binary (the paper's synthetic workloads use 8-byte keys), or
+// padded to key_size when larger keys are requested (production: ~40B).
+void EncodeWorkloadKey(uint64_t index, size_t key_size, std::string* dst);
+
+// Distribution over key indices. Implementations are NOT thread-safe; give
+// each worker thread its own instance.
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual uint64_t Next() = 0;
+};
+
+// Uniform over [0, num_keys).
+class UniformGenerator final : public KeyGenerator {
+ public:
+  UniformGenerator(uint64_t num_keys, uint64_t seed) : rnd_(seed), num_keys_(num_keys) {}
+  uint64_t Next() override { return rnd_.Uniform(num_keys_); }
+
+ private:
+  Random64 rnd_;
+  uint64_t num_keys_;
+};
+
+// Strictly increasing (for bulk loads).
+class SequentialGenerator final : public KeyGenerator {
+ public:
+  explicit SequentialGenerator(uint64_t start = 0) : next_(start) {}
+  uint64_t Next() override { return next_++; }
+
+ private:
+  uint64_t next_;
+};
+
+// The paper's read benchmark distribution (§5.1): with probability
+// hot_op_fraction the key is drawn uniformly from the hot fraction of the
+// key space ("popular blocks"); otherwise uniformly from the whole range.
+class HotBlockGenerator final : public KeyGenerator {
+ public:
+  HotBlockGenerator(uint64_t num_keys, double hot_key_fraction, double hot_op_fraction,
+                    uint64_t seed)
+      : rnd_(seed),
+        num_keys_(num_keys),
+        hot_keys_(static_cast<uint64_t>(num_keys * hot_key_fraction) + 1),
+        hot_op_fraction_(hot_op_fraction) {}
+
+  uint64_t Next() override {
+    if (rnd_.NextDouble() < hot_op_fraction_) {
+      // Spread hot keys across the space so hot blocks are interleaved with
+      // cold ones (block-level locality, not one contiguous prefix).
+      uint64_t h = rnd_.Uniform(hot_keys_);
+      return (h * 10) % num_keys_;
+    }
+    return rnd_.Uniform(num_keys_);
+  }
+
+ private:
+  Random64 rnd_;
+  uint64_t num_keys_;
+  uint64_t hot_keys_;
+  double hot_op_fraction_;
+};
+
+// YCSB-style Zipfian over [0, num_keys) with parameter theta, scrambled by
+// a hash so popular keys scatter across the key space. theta ~0.99 gives
+// the paper's production shape: top 10% of keys ≈ 75%+ of requests, top
+// 1-2% ≈ 50%.
+class ZipfianGenerator final : public KeyGenerator {
+ public:
+  ZipfianGenerator(uint64_t num_keys, double theta, uint64_t seed, bool scramble = true);
+  uint64_t Next() override;
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  Random64 rnd_;
+  uint64_t num_keys_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  bool scramble_;
+};
+
+// Deterministic pseudo-random value payloads, served as slices from a
+// pre-generated pool (cheap per op).
+class ValueGenerator {
+ public:
+  ValueGenerator(size_t value_size, uint64_t seed);
+  Slice Next();
+
+ private:
+  std::string pool_;
+  size_t value_size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,33 @@
+#include "src/workload/trace.h"
+
+namespace clsm {
+
+std::vector<TraceSpec> ProductionTraceSpecs(uint64_t num_keys) {
+  // Read ratios from Figure 10's captions; thetas chosen so the rank-
+  // frequency curve matches the reported concentration (≈0.99 puts ~50% of
+  // requests on the top 1-2% of keys).
+  return {
+      TraceSpec{"dataset1", 0.93, 0.99, num_keys},
+      TraceSpec{"dataset2", 0.85, 0.95, num_keys},
+      TraceSpec{"dataset3", 0.96, 1.05, num_keys},
+      TraceSpec{"dataset4", 0.86, 0.90, num_keys},
+  };
+}
+
+TraceGenerator::TraceGenerator(const TraceSpec& spec, uint64_t seed)
+    : spec_(spec),
+      rnd_(seed),
+      keys_(spec.num_keys, spec.zipf_theta, seed * 2654435761u + 1),
+      values_(spec.value_size, seed ^ 0x5bd1e995) {}
+
+TraceOpType TraceGenerator::NextOpType() {
+  return rnd_.NextDouble() < spec_.read_fraction ? TraceOpType::kGet : TraceOpType::kPut;
+}
+
+void TraceGenerator::NextKey(std::string* key) {
+  EncodeWorkloadKey(keys_.Next(), spec_.key_size, key);
+}
+
+Slice TraceGenerator::NextValue() { return values_.Next(); }
+
+}  // namespace clsm

@@ -1,0 +1,52 @@
+// Synthetic stand-ins for the paper's proprietary production logs (§5.2).
+// Each "dataset" is a deterministic operation stream matched to the
+// published statistics: 85-96% reads, ~40-byte keys, ~1 KiB values,
+// heavy-tail key popularity (top 10% of keys ≈ 75%+ of requests, top 1-2%
+// ≈ 50%), and ~10% singleton keys.
+#ifndef CLSM_WORKLOAD_TRACE_H_
+#define CLSM_WORKLOAD_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workload/generator.h"
+
+namespace clsm {
+
+enum class TraceOpType { kGet, kPut };
+
+struct TraceSpec {
+  std::string name;
+  double read_fraction;   // fraction of get operations
+  double zipf_theta;      // key-popularity skew
+  uint64_t num_keys;      // distinct keys in the partition
+  size_t key_size = 40;   // production average (paper §5.2)
+  size_t value_size = 1024;
+};
+
+// The four representative datasets of Figure 10.
+std::vector<TraceSpec> ProductionTraceSpecs(uint64_t num_keys);
+
+// Stateful per-thread generator of trace operations.
+class TraceGenerator {
+ public:
+  TraceGenerator(const TraceSpec& spec, uint64_t seed);
+
+  TraceOpType NextOpType();
+  // Fills *key for the next operation of the given type.
+  void NextKey(std::string* key);
+  Slice NextValue();
+
+  const TraceSpec& spec() const { return spec_; }
+
+ private:
+  TraceSpec spec_;
+  Random64 rnd_;
+  ZipfianGenerator keys_;
+  ValueGenerator values_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_WORKLOAD_TRACE_H_

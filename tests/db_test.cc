@@ -1,0 +1,360 @@
+// Black-box DB contract tests, parameterized over every concurrency
+// architecture: cLSM and all baselines must agree on functional behavior —
+// the paper's claim that cLSM preserves LevelDB's full functionality (§4).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/baselines/factory.h"
+#include "src/core/write_batch.h"
+#include "tests/test_util.h"
+
+namespace clsm {
+namespace {
+
+class DbTest : public ::testing::TestWithParam<DbVariant> {
+ protected:
+  DbTest() : dir_("db") {
+    options_.write_buffer_size = 256 * 1024;
+    options_.target_file_size = 256 * 1024;
+  }
+
+  ~DbTest() override { Close(); }
+
+  void Open() {
+    Close();
+    DB* db = nullptr;
+    ASSERT_TRUE(OpenDb(GetParam(), options_, dir_.path() + "/db", &db).ok());
+    db_.reset(db);
+  }
+
+  void Close() { db_.reset(); }
+
+  void Reopen() {
+    Close();
+    Open();
+  }
+
+  Status Put(const std::string& k, const std::string& v) {
+    return db_->Put(WriteOptions(), k, v);
+  }
+  Status Delete(const std::string& k) { return db_->Delete(WriteOptions(), k); }
+  std::string Get(const std::string& k, const Snapshot* snapshot = nullptr) {
+    ReadOptions ro;
+    ro.snapshot = snapshot;
+    std::string value;
+    Status s = db_->Get(ro, k, &value);
+    if (s.IsNotFound()) {
+      return "NOT_FOUND";
+    }
+    if (!s.ok()) {
+      return s.ToString();
+    }
+    return value;
+  }
+
+  ScratchDir dir_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(DbTest, Empty) {
+  Open();
+  EXPECT_EQ("NOT_FOUND", Get("foo"));
+}
+
+TEST_P(DbTest, PutGetDelete) {
+  Open();
+  ASSERT_TRUE(Put("foo", "v1").ok());
+  EXPECT_EQ("v1", Get("foo"));
+  ASSERT_TRUE(Put("foo", "v2").ok());
+  EXPECT_EQ("v2", Get("foo"));
+  ASSERT_TRUE(Delete("foo").ok());
+  EXPECT_EQ("NOT_FOUND", Get("foo"));
+  // Deleting a missing key is fine (it just writes a marker).
+  ASSERT_TRUE(Delete("never-existed").ok());
+}
+
+TEST_P(DbTest, EmptyKeyAndValue) {
+  Open();
+  ASSERT_TRUE(Put("", "empty-key-value").ok());
+  EXPECT_EQ("empty-key-value", Get(""));
+  ASSERT_TRUE(Put("empty-value", "").ok());
+  EXPECT_EQ("", Get("empty-value"));
+}
+
+TEST_P(DbTest, LargeValues) {
+  Open();
+  std::string big(1 << 20, 'x');
+  ASSERT_TRUE(Put("big", big).ok());
+  EXPECT_EQ(big, Get("big"));
+  Reopen();
+  EXPECT_EQ(big, Get("big"));
+}
+
+TEST_P(DbTest, GetFromAllComponents) {
+  Open();
+  // Fill enough to force rolls and flushes: keys land in Cm, C'm and Cd.
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 20000; i++) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%07d", i);
+    std::string value = "value-" + std::to_string(i);
+    model[key] = value;
+    ASSERT_TRUE(Put(key, value).ok());
+  }
+  for (int i = 0; i < 20000; i += 371) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%07d", i);
+    EXPECT_EQ(model[key], Get(key));
+  }
+  db_->WaitForMaintenance();
+  for (int i = 0; i < 20000; i += 371) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%07d", i);
+    EXPECT_EQ(model[key], Get(key));
+  }
+}
+
+TEST_P(DbTest, IteratorFullOrderedScan) {
+  Open();
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 5000; i++) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%07d", i * 7 % 5000);
+    model[key] = "v" + std::to_string(i);
+    ASSERT_TRUE(Put(key, model[key]).ok());
+  }
+  db_->WaitForMaintenance();
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->SeekToFirst();
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(k, iter->key().ToString());
+    EXPECT_EQ(v, iter->value().ToString());
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST_P(DbTest, IteratorHidesDeletionsAndOldVersions) {
+  Open();
+  ASSERT_TRUE(Put("a", "a1").ok());
+  ASSERT_TRUE(Put("b", "b1").ok());
+  ASSERT_TRUE(Put("b", "b2").ok());  // overwrite
+  ASSERT_TRUE(Put("c", "c1").ok());
+  ASSERT_TRUE(Delete("c").ok());
+  ASSERT_TRUE(Put("d", "d1").ok());
+
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("a", iter->key().ToString());
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("b", iter->key().ToString());
+  EXPECT_EQ("b2", iter->value().ToString());
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("d", iter->key().ToString());
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(DbTest, RangeQuerySeekAndBackward) {
+  Open();
+  for (int i = 0; i < 1000; i++) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%07d", i * 2);  // even keys
+    ASSERT_TRUE(Put(key, "v").ok());
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  // Seek to a key between two existing ones.
+  iter->Seek("key0000101");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("key0000102", iter->key().ToString());
+  // Range scan of 10 keys (the paper's Fig 7b access pattern).
+  int count = 0;
+  for (; iter->Valid() && count < 10; iter->Next()) {
+    count++;
+  }
+  EXPECT_EQ(10, count);
+  // Backward iteration.
+  iter->SeekToLast();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("key0001998", iter->key().ToString());
+  iter->Prev();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("key0001996", iter->key().ToString());
+}
+
+TEST_P(DbTest, WriteBatchIsAtomicAndOrdered) {
+  Open();
+  WriteBatch batch;
+  batch.Put("k1", "v1");
+  batch.Put("k2", "v2");
+  batch.Delete("k1");
+  batch.Put("k3", "v3");
+  ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+  EXPECT_EQ("NOT_FOUND", Get("k1"));  // delete after put wins
+  EXPECT_EQ("v2", Get("k2"));
+  EXPECT_EQ("v3", Get("k3"));
+}
+
+TEST_P(DbTest, ReopenPreservesData) {
+  Open();
+  ASSERT_TRUE(Put("persist", "across-reopen").ok());
+  for (int i = 0; i < 5000; i++) {
+    ASSERT_TRUE(Put("bulk" + std::to_string(i), std::string(100, 'b')).ok());
+  }
+  Reopen();
+  EXPECT_EQ("across-reopen", Get("persist"));
+  EXPECT_EQ(std::string(100, 'b'), Get("bulk4321"));
+
+  // Another write-read-reopen cycle on the recovered store.
+  ASSERT_TRUE(Put("persist", "again").ok());
+  Reopen();
+  EXPECT_EQ("again", Get("persist"));
+}
+
+TEST_P(DbTest, OverwritesSurviveCompaction) {
+  Open();
+  for (int round = 0; round < 5; round++) {
+    for (int i = 0; i < 3000; i++) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "key%05d", i);
+      ASSERT_TRUE(Put(key, "round-" + std::to_string(round)).ok());
+    }
+    db_->WaitForMaintenance();
+  }
+  for (int i = 0; i < 3000; i += 113) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%05d", i);
+    EXPECT_EQ("round-4", Get(key));
+  }
+}
+
+TEST_P(DbTest, SnapshotIsolation) {
+  Open();
+  ASSERT_TRUE(Put("k", "v1").ok());
+  const Snapshot* s1 = db_->GetSnapshot();
+  ASSERT_TRUE(Put("k", "v2").ok());
+  const Snapshot* s2 = db_->GetSnapshot();
+  ASSERT_TRUE(Delete("k").ok());
+
+  EXPECT_EQ("v1", Get("k", s1));
+  EXPECT_EQ("v2", Get("k", s2));
+  EXPECT_EQ("NOT_FOUND", Get("k"));
+
+  // Snapshots survive flushes and compactions (obsolete-version GC must
+  // keep the versions they need, §3.2.1).
+  for (int i = 0; i < 20000; i++) {
+    ASSERT_TRUE(Put("fill" + std::to_string(i), std::string(64, 'f')).ok());
+  }
+  db_->WaitForMaintenance();
+  EXPECT_EQ("v1", Get("k", s1));
+  EXPECT_EQ("v2", Get("k", s2));
+
+  db_->ReleaseSnapshot(s1);
+  db_->ReleaseSnapshot(s2);
+}
+
+TEST_P(DbTest, SnapshotScanIsFrozen) {
+  Open();
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(Put("stable" + std::to_string(i), "s").ok());
+  }
+  const Snapshot* snap = db_->GetSnapshot();
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(Put("later" + std::to_string(i), "l").ok());
+  }
+  ReadOptions ro;
+  ro.snapshot = snap;
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ro));
+  int n = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_TRUE(iter->key().starts_with("stable")) << iter->key().ToString();
+    n++;
+  }
+  EXPECT_EQ(100, n);
+  iter.reset();
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_P(DbTest, IteratorPinsViewAcrossWrites) {
+  Open();
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(Put("pin" + std::to_string(i), "before").ok());
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  // Heavy churn after the iterator exists.
+  for (int i = 0; i < 20000; i++) {
+    ASSERT_TRUE(Put("churn" + std::to_string(i), std::string(64, 'c')).ok());
+  }
+  db_->WaitForMaintenance();
+  int n = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ASSERT_TRUE(iter->key().starts_with("pin"));
+    EXPECT_EQ("before", iter->value().ToString());
+    n++;
+  }
+  EXPECT_EQ(1000, n);
+}
+
+TEST_P(DbTest, ConcurrentBatchesNeverTorn) {
+  Open();
+  WriteOptions wo;
+  {
+    WriteBatch init;
+    init.Put("pair-x", "0");
+    init.Put("pair-y", "0");
+    ASSERT_TRUE(db_->Write(wo, &init).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 1; i < 50000 && !stop.load(); i++) {
+      WriteBatch batch;
+      batch.Put("pair-x", std::to_string(i));
+      batch.Put("pair-y", std::to_string(i));
+      db_->Write(wo, &batch);
+    }
+  });
+  bool torn = false;
+  for (int round = 0; round < 500 && !torn; round++) {
+    const Snapshot* snap = db_->GetSnapshot();
+    ReadOptions rs;
+    rs.snapshot = snap;
+    std::string x, y;
+    if (db_->Get(rs, "pair-x", &x).ok() && db_->Get(rs, "pair-y", &y).ok()) {
+      torn = (x != y);
+    }
+    db_->ReleaseSnapshot(snap);
+  }
+  stop = true;
+  writer.join();
+  EXPECT_FALSE(torn) << "a snapshot observed half of an atomic batch";
+}
+
+TEST_P(DbTest, GetProperty) {
+  Open();
+  ASSERT_TRUE(Put("a", "b").ok());
+  EXPECT_FALSE(db_->GetProperty("clsm.levels").empty());
+  EXPECT_TRUE(db_->GetProperty("no.such.property").empty());
+  EXPECT_NE(nullptr, db_->Name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, DbTest, ::testing::ValuesIn(AllVariants()),
+                         [](const ::testing::TestParamInfo<DbVariant>& info) {
+                           std::string name = VariantName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace clsm

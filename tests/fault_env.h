@@ -1,0 +1,125 @@
+// Fault-injecting Env wrapper: forwards to the real Env but can be armed to
+// fail writes, syncs or file creation — used to verify that I/O errors
+// surface as background errors and never corrupt in-memory state.
+#ifndef CLSM_TESTS_FAULT_ENV_H_
+#define CLSM_TESTS_FAULT_ENV_H_
+
+#include <atomic>
+#include <memory>
+
+#include "src/util/env.h"
+
+namespace clsm {
+
+class FaultInjectionEnv final : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // Arm/disarm failures. When armed, the countdown decrements on each
+  // write-ish operation and the operation failing is the one that drops the
+  // counter to zero (and every one after it while armed).
+  void FailAfterWrites(int countdown) {
+    write_countdown_.store(countdown, std::memory_order_release);
+    fail_writes_.store(true, std::memory_order_release);
+  }
+  void FailNewFiles(bool enabled) { fail_new_files_.store(enabled, std::memory_order_release); }
+  void Heal() {
+    fail_writes_.store(false, std::memory_order_release);
+    fail_new_files_.store(false, std::memory_order_release);
+  }
+
+  uint64_t write_failures() const { return write_failures_.load(std::memory_order_acquire); }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override {
+    return base_->NewRandomAccessFile(fname, result);
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    if (fail_new_files_.load(std::memory_order_acquire)) {
+      return Status::IOError("injected fault: NewWritableFile", fname);
+    }
+    std::unique_ptr<WritableFile> base_file;
+    Status s = base_->NewWritableFile(fname, &base_file);
+    if (!s.ok()) {
+      return s;
+    }
+    result->reset(new FaultyWritableFile(this, std::move(base_file)));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override { return base_->FileExists(fname); }
+  Status GetChildren(const std::string& dir, std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override { return base_->RemoveFile(fname); }
+  Status CreateDir(const std::string& dirname) override { return base_->CreateDir(dirname); }
+  Status RemoveDir(const std::string& dirname) override { return base_->RemoveDir(dirname); }
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
+    return base_->GetFileSize(fname, file_size);
+  }
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+  uint64_t NowMicros() override { return base_->NowMicros(); }
+
+ private:
+  friend class FaultyWritableFile;
+
+  class FaultyWritableFile final : public WritableFile {
+   public:
+    FaultyWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base)
+        : env_(env), base_(std::move(base)) {}
+
+    Status Append(const Slice& data) override {
+      if (env_->ShouldFailWrite()) {
+        return Status::IOError("injected fault: Append");
+      }
+      return base_->Append(data);
+    }
+    Status Close() override { return base_->Close(); }
+    Status Flush() override {
+      if (env_->ShouldFailWrite()) {
+        return Status::IOError("injected fault: Flush");
+      }
+      return base_->Flush();
+    }
+    Status Sync() override {
+      if (env_->ShouldFailWrite()) {
+        return Status::IOError("injected fault: Sync");
+      }
+      return base_->Sync();
+    }
+
+   private:
+    FaultInjectionEnv* env_;
+    std::unique_ptr<WritableFile> base_;
+  };
+
+  bool ShouldFailWrite() {
+    if (!fail_writes_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (write_countdown_.fetch_sub(1, std::memory_order_acq_rel) <= 1) {
+      write_failures_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  Env* base_;
+  std::atomic<bool> fail_writes_{false};
+  std::atomic<bool> fail_new_files_{false};
+  std::atomic<int> write_countdown_{0};
+  std::atomic<uint64_t> write_failures_{0};
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_TESTS_FAULT_ENV_H_

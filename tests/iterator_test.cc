@@ -1,0 +1,212 @@
+// DBIter behavior against a model: version filtering, deletion hiding, and
+// direction switches — the trickiest state machine in the read path.
+// Property-style: random op sequences compared against a std::map model,
+// parameterized over snapshot positions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/core/db_iter.h"
+#include "src/lsm/memtable.h"
+#include "src/util/random.h"
+
+namespace clsm {
+namespace {
+
+// Builds a memtable with a scripted history and hands out DB iterators at
+// chosen sequence numbers.
+class DbIterTest : public ::testing::Test {
+ protected:
+  DbIterTest() : icmp_(BytewiseComparator()), mem_(new MemTable(icmp_)) {}
+  ~DbIterTest() override { mem_->Unref(); }
+
+  void Put(SequenceNumber seq, const std::string& k, const std::string& v) {
+    mem_->Add(seq, kTypeValue, k, v);
+    history_[seq] = {k, v, false};
+  }
+  void Del(SequenceNumber seq, const std::string& k) {
+    mem_->Add(seq, kTypeDeletion, k, "");
+    history_[seq] = {k, "", true};
+  }
+
+  // Model view at a snapshot.
+  std::map<std::string, std::string> ModelAt(SequenceNumber snap) const {
+    std::map<std::string, std::string> model;
+    for (const auto& [seq, op] : history_) {  // ascending seq
+      if (seq > snap) {
+        break;
+      }
+      if (op.deleted) {
+        model.erase(op.key);
+      } else {
+        model[op.key] = op.value;
+      }
+    }
+    return model;
+  }
+
+  Iterator* NewIter(SequenceNumber snap) {
+    return NewDBIterator(icmp_.user_comparator(), mem_->NewIterator(), snap);
+  }
+
+  void CheckForwardEquals(SequenceNumber snap) {
+    auto model = ModelAt(snap);
+    std::unique_ptr<Iterator> it(NewIter(snap));
+    it->SeekToFirst();
+    for (const auto& [k, v] : model) {
+      ASSERT_TRUE(it->Valid()) << "snap=" << snap << " missing " << k;
+      EXPECT_EQ(k, it->key().ToString());
+      EXPECT_EQ(v, it->value().ToString());
+      it->Next();
+    }
+    EXPECT_FALSE(it->Valid());
+  }
+
+  void CheckBackwardEquals(SequenceNumber snap) {
+    auto model = ModelAt(snap);
+    std::unique_ptr<Iterator> it(NewIter(snap));
+    it->SeekToLast();
+    for (auto rit = model.rbegin(); rit != model.rend(); ++rit) {
+      ASSERT_TRUE(it->Valid()) << "snap=" << snap << " missing " << rit->first;
+      EXPECT_EQ(rit->first, it->key().ToString());
+      EXPECT_EQ(rit->second, it->value().ToString());
+      it->Prev();
+    }
+    EXPECT_FALSE(it->Valid());
+  }
+
+  struct Op {
+    std::string key, value;
+    bool deleted;
+  };
+  InternalKeyComparator icmp_;
+  MemTable* mem_;
+  std::map<SequenceNumber, Op> history_;
+};
+
+TEST_F(DbIterTest, VersionFilteringAcrossSnapshots) {
+  Put(1, "a", "a1");
+  Put(2, "b", "b2");
+  Put(3, "a", "a3");
+  Del(4, "b");
+  Put(5, "c", "c5");
+  Put(6, "b", "b6");
+
+  for (SequenceNumber snap : {0, 1, 2, 3, 4, 5, 6, 100}) {
+    CheckForwardEquals(snap);
+    CheckBackwardEquals(snap);
+  }
+}
+
+TEST_F(DbIterTest, SeekLandsOnVisibleVersion) {
+  Put(1, "apple", "old");
+  Put(5, "apple", "new");
+  Del(3, "banana");
+  Put(2, "banana", "b");
+  Put(4, "cherry", "c");
+
+  {
+    std::unique_ptr<Iterator> it(NewIter(5));
+    it->Seek("apple");
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ("new", it->value().ToString());
+    it->Seek("b");
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ("cherry", it->key().ToString());  // banana deleted at seq 3
+  }
+  {
+    std::unique_ptr<Iterator> it(NewIter(2));
+    it->Seek("apple");
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ("old", it->value().ToString());
+    it->Seek("b");
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ("banana", it->key().ToString());  // visible before the delete
+  }
+}
+
+TEST_F(DbIterTest, DirectionSwitchesAtEveryPosition) {
+  for (int i = 0; i < 20; i++) {
+    Put(i + 1, "key" + std::to_string(i % 10), "v" + std::to_string(i));
+  }
+  auto model = ModelAt(100);
+  // Walk forward to every position, flip to Prev, verify, flip back.
+  std::unique_ptr<Iterator> it(NewIter(100));
+  int pos = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next(), pos++) {
+    std::string here = it->key().ToString();
+    it->Prev();
+    if (pos == 0) {
+      EXPECT_FALSE(it->Valid());
+      it->SeekToFirst();
+    } else {
+      ASSERT_TRUE(it->Valid());
+      EXPECT_LT(it->key().ToString(), here);
+      it->Next();
+    }
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(here, it->key().ToString());
+  }
+  EXPECT_EQ(model.size(), static_cast<size_t>(pos));
+}
+
+TEST_F(DbIterTest, AllDeletedYieldsEmpty) {
+  for (int i = 0; i < 50; i++) {
+    Put(i + 1, "k" + std::to_string(i), "v");
+  }
+  for (int i = 0; i < 50; i++) {
+    Del(100 + i, "k" + std::to_string(i));
+  }
+  std::unique_ptr<Iterator> it(NewIter(1000));
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  it->SeekToLast();
+  EXPECT_FALSE(it->Valid());
+  it->Seek("k25");
+  EXPECT_FALSE(it->Valid());
+  // But a pre-deletion snapshot still sees everything.
+  CheckForwardEquals(50);
+}
+
+class DbIterRandomTest : public DbIterTest, public ::testing::WithParamInterface<int> {};
+
+// Property sweep: random histories, checked at random snapshots in both
+// directions, plus random seeks.
+TEST_P(DbIterRandomTest, MatchesModel) {
+  Random rnd(GetParam());
+  SequenceNumber seq = 1;
+  for (int i = 0; i < 400; i++) {
+    std::string key = "key" + std::to_string(rnd.Uniform(40));
+    if (rnd.OneIn(4)) {
+      Del(seq++, key);
+    } else {
+      Put(seq++, key, "v" + std::to_string(i));
+    }
+  }
+  for (int probe = 0; probe < 10; probe++) {
+    SequenceNumber snap = rnd.Uniform(static_cast<int>(seq) + 10);
+    CheckForwardEquals(snap);
+    CheckBackwardEquals(snap);
+
+    auto model = ModelAt(snap);
+    std::unique_ptr<Iterator> it(NewIter(snap));
+    for (int s = 0; s < 20; s++) {
+      std::string target = "key" + std::to_string(rnd.Uniform(45));
+      it->Seek(target);
+      auto mit = model.lower_bound(target);
+      if (mit == model.end()) {
+        EXPECT_FALSE(it->Valid());
+      } else {
+        ASSERT_TRUE(it->Valid());
+        EXPECT_EQ(mit->first, it->key().ToString());
+        EXPECT_EQ(mit->second, it->value().ToString());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbIterRandomTest, ::testing::Values(7, 42, 301, 9999));
+
+}  // namespace
+}  // namespace clsm

@@ -1,0 +1,149 @@
+// The in-memory Env must behave exactly like the POSIX one (the DB layers
+// cannot tell them apart), and a whole DB must run hermetically on it.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/clsm_db.h"
+#include "src/util/mem_env.h"
+
+namespace clsm {
+namespace {
+
+class MemEnvTest : public ::testing::Test {
+ protected:
+  MemEnvTest() : env_(NewMemEnv(Env::Default())) {}
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(MemEnvTest, Basics) {
+  uint64_t file_size;
+  std::unique_ptr<WritableFile> writable_file;
+  std::vector<std::string> children;
+
+  ASSERT_TRUE(env_->CreateDir("/dir").ok());
+
+  // Check that the directory is empty.
+  EXPECT_FALSE(env_->FileExists("/dir/non_existent"));
+  EXPECT_FALSE(env_->GetFileSize("/dir/non_existent", &file_size).ok());
+  ASSERT_TRUE(env_->GetChildren("/dir", &children).ok());
+  EXPECT_EQ(0u, children.size());
+
+  // Create a file.
+  ASSERT_TRUE(env_->NewWritableFile("/dir/f", &writable_file).ok());
+  writable_file.reset();
+
+  EXPECT_TRUE(env_->FileExists("/dir/f"));
+  ASSERT_TRUE(env_->GetFileSize("/dir/f", &file_size).ok());
+  EXPECT_EQ(0u, file_size);
+  ASSERT_TRUE(env_->GetChildren("/dir", &children).ok());
+  ASSERT_EQ(1u, children.size());
+  EXPECT_EQ("f", children[0]);
+
+  // Write to the file.
+  ASSERT_TRUE(env_->NewWritableFile("/dir/f", &writable_file).ok());
+  ASSERT_TRUE(writable_file->Append("abc").ok());
+  writable_file.reset();
+
+  ASSERT_TRUE(env_->GetFileSize("/dir/f", &file_size).ok());
+  EXPECT_EQ(3u, file_size);
+
+  // Rename, remove.
+  ASSERT_TRUE(env_->RenameFile("/dir/f", "/dir/g").ok());
+  EXPECT_FALSE(env_->FileExists("/dir/f"));
+  EXPECT_TRUE(env_->FileExists("/dir/g"));
+  ASSERT_TRUE(env_->RemoveFile("/dir/g").ok());
+  EXPECT_FALSE(env_->FileExists("/dir/g"));
+  EXPECT_FALSE(env_->RemoveFile("/dir/g").ok());
+}
+
+TEST_F(MemEnvTest, ReadWrite) {
+  std::unique_ptr<WritableFile> writable_file;
+  ASSERT_TRUE(env_->NewWritableFile("/dir/f", &writable_file).ok());
+  ASSERT_TRUE(writable_file->Append("hello ").ok());
+  ASSERT_TRUE(writable_file->Append("world").ok());
+  writable_file.reset();
+
+  std::unique_ptr<SequentialFile> seq_file;
+  char scratch[100];
+  Slice result;
+  ASSERT_TRUE(env_->NewSequentialFile("/dir/f", &seq_file).ok());
+  ASSERT_TRUE(seq_file->Read(5, &result, scratch).ok());
+  EXPECT_EQ("hello", result.ToString());
+  ASSERT_TRUE(seq_file->Skip(1).ok());
+  ASSERT_TRUE(seq_file->Read(100, &result, scratch).ok());
+  EXPECT_EQ("world", result.ToString());
+  ASSERT_TRUE(seq_file->Read(100, &result, scratch).ok());
+  EXPECT_EQ(0u, result.size());  // EOF
+
+  std::unique_ptr<RandomAccessFile> rand_file;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/dir/f", &rand_file).ok());
+  ASSERT_TRUE(rand_file->Read(6, 5, &result, scratch).ok());
+  EXPECT_EQ("world", result.ToString());
+  ASSERT_TRUE(rand_file->Read(0, 5, &result, scratch).ok());
+  EXPECT_EQ("hello", result.ToString());
+  // Past-EOF read fails cleanly.
+  EXPECT_FALSE(rand_file->Read(1000, 5, &result, scratch).ok());
+}
+
+TEST_F(MemEnvTest, OpenReaderSurvivesRemoval) {
+  std::unique_ptr<WritableFile> writable_file;
+  ASSERT_TRUE(env_->NewWritableFile("/dir/f", &writable_file).ok());
+  ASSERT_TRUE(writable_file->Append("persistent").ok());
+  writable_file.reset();
+
+  std::unique_ptr<RandomAccessFile> reader;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/dir/f", &reader).ok());
+  ASSERT_TRUE(env_->RemoveFile("/dir/f").ok());
+
+  // POSIX unlink semantics: the open reader still works.
+  char scratch[100];
+  Slice result;
+  ASSERT_TRUE(reader->Read(0, 10, &result, scratch).ok());
+  EXPECT_EQ("persistent", result.ToString());
+}
+
+TEST_F(MemEnvTest, OverwriteTruncates) {
+  std::unique_ptr<WritableFile> writable_file;
+  ASSERT_TRUE(env_->NewWritableFile("/dir/f", &writable_file).ok());
+  ASSERT_TRUE(writable_file->Append("long original contents").ok());
+  writable_file.reset();
+  ASSERT_TRUE(env_->NewWritableFile("/dir/f", &writable_file).ok());
+  ASSERT_TRUE(writable_file->Append("x").ok());
+  writable_file.reset();
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize("/dir/f", &size).ok());
+  EXPECT_EQ(1u, size);
+}
+
+TEST_F(MemEnvTest, WholeDbRunsHermetically) {
+  Options options;
+  options.env = env_.get();
+  options.write_buffer_size = 64 * 1024;
+  DB* raw = nullptr;
+  ASSERT_TRUE(ClsmDb::Open(options, "/memdb", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  WriteOptions wo;
+  ReadOptions ro;
+  for (int i = 0; i < 10000; i++) {
+    ASSERT_TRUE(db->Put(wo, "key" + std::to_string(i), "value" + std::to_string(i)).ok());
+  }
+  db->WaitForMaintenance();  // flushes/compactions all in RAM
+  std::string v;
+  for (int i = 0; i < 10000; i += 317) {
+    ASSERT_TRUE(db->Get(ro, "key" + std::to_string(i), &v).ok());
+    EXPECT_EQ("value" + std::to_string(i), v);
+  }
+
+  // Reopen against the same MemEnv: recovery works from RAM "disk".
+  db.reset();
+  ASSERT_TRUE(ClsmDb::Open(options, "/memdb", &raw).ok());
+  db.reset(raw);
+  ASSERT_TRUE(db->Get(ro, "key317", &v).ok());
+  EXPECT_EQ("value317", v);
+}
+
+}  // namespace
+}  // namespace clsm

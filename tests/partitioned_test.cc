@@ -1,0 +1,158 @@
+// PartitionedDb: the resource-isolated configuration must be functionally
+// correct, and its documented weakness — non-atomic cross-partition
+// snapshots (paper §2.2) — must be demonstrable, contrasted with cLSM's
+// single-partition snapshots which never tear.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/baselines/partitioned_db.h"
+#include "src/core/write_batch.h"
+#include "tests/test_util.h"
+
+namespace clsm {
+namespace {
+
+class PartitionedTest : public ::testing::Test {
+ protected:
+  PartitionedTest() : dir_("part") {
+    options_.write_buffer_size = 1 << 20;
+    DB* raw = nullptr;
+    Status s = PartitionedDb::Open(DbVariant::kLevelDb, options_, dir_.path() + "/db", 4, &raw);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    db_.reset(raw);
+  }
+
+  ScratchDir dir_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(PartitionedTest, BasicOperations) {
+  WriteOptions wo;
+  ReadOptions ro;
+  std::string v;
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db_->Put(wo, "key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 2000; i += 37) {
+    ASSERT_TRUE(db_->Get(ro, "key" + std::to_string(i), &v).ok());
+    EXPECT_EQ("v" + std::to_string(i), v);
+  }
+  ASSERT_TRUE(db_->Delete(wo, "key100").ok());
+  EXPECT_TRUE(db_->Get(ro, "key100", &v).IsNotFound());
+  EXPECT_EQ(4, static_cast<PartitionedDb*>(db_.get())->partitions());
+}
+
+TEST_F(PartitionedTest, MergedIteratorSeesAllPartitionsInOrder) {
+  WriteOptions wo;
+  std::set<std::string> keys;
+  for (int i = 0; i < 1000; i++) {
+    std::string k = "scan" + std::to_string(i * 7 % 1000);
+    keys.insert(k);
+    ASSERT_TRUE(db_->Put(wo, k, "v").ok());
+  }
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  it->SeekToFirst();
+  for (const std::string& k : keys) {
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(k, it->key().ToString());
+    it->Next();
+  }
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(PartitionedTest, RmwRoutesToRightPartition) {
+  WriteOptions wo;
+  for (int t = 0; t < 4; t++) {
+    for (int i = 0; i < 500; i++) {
+      ASSERT_TRUE(db_->ReadModifyWrite(wo, "ctr" + std::to_string(i % 50),
+                                       [](const std::optional<Slice>& cur)
+                                           -> std::optional<std::string> {
+                                         int v = cur ? std::stoi(cur->ToString()) : 0;
+                                         return std::to_string(v + 1);
+                                       })
+                      .ok());
+    }
+  }
+  ReadOptions ro;
+  std::string v;
+  int total = 0;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Get(ro, "ctr" + std::to_string(i), &v).ok());
+    total += std::stoi(v);
+  }
+  EXPECT_EQ(4 * 500, total);
+}
+
+TEST_F(PartitionedTest, CompositeSnapshotIsPerPartitionConsistent) {
+  WriteOptions wo;
+  ASSERT_TRUE(db_->Put(wo, "stable", "before").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put(wo, "stable", "after").ok());
+  ReadOptions rs;
+  rs.snapshot = snap;
+  std::string v;
+  ASSERT_TRUE(db_->Get(rs, "stable", &v).ok());
+  EXPECT_EQ("before", v);
+  db_->ReleaseSnapshot(snap);
+}
+
+// The §2.2 drawback made concrete: a batch spanning partitions is not
+// atomic under concurrent snapshots (keys chosen to hash to different
+// partitions), whereas within one partition batches stay atomic. This test
+// documents the weakness rather than asserting it always manifests —
+// tearing is timing-dependent — but it must never crash or corrupt.
+TEST_F(PartitionedTest, CrossPartitionBatchesBestEffort) {
+  WriteOptions wo;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 1; i < 20000 && !stop.load(); i++) {
+      WriteBatch batch;
+      batch.Put("cross-a", std::to_string(i));  // hashes to some partition
+      batch.Put("cross-b", std::to_string(i));  // very likely another
+      db_->Write(wo, &batch);
+    }
+  });
+  int torn = 0;
+  for (int round = 0; round < 300; round++) {
+    const Snapshot* snap = db_->GetSnapshot();
+    ReadOptions rs;
+    rs.snapshot = snap;
+    std::string a, b;
+    if (db_->Get(rs, "cross-a", &a).ok() && db_->Get(rs, "cross-b", &b).ok() && a != b) {
+      torn++;
+    }
+    db_->ReleaseSnapshot(snap);
+  }
+  stop = true;
+  writer.join();
+  // No assertion on torn > 0 (timing); the documented expectation is that
+  // partitioned stores CAN tear cross-partition batches. Log for the record.
+  if (torn > 0) {
+    fprintf(stderr, "observed %d torn cross-partition snapshots (expected per §2.2)\n", torn);
+  }
+  SUCCEED();
+}
+
+TEST_F(PartitionedTest, WaitForMaintenanceAndReopen) {
+  WriteOptions wo;
+  for (int i = 0; i < 20000; i++) {
+    ASSERT_TRUE(db_->Put(wo, "bulk" + std::to_string(i), std::string(64, 'b')).ok());
+  }
+  db_->WaitForMaintenance();
+  db_.reset();
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(
+      PartitionedDb::Open(DbVariant::kLevelDb, options_, dir_.path() + "/db", 4, &raw).ok());
+  db_.reset(raw);
+  ReadOptions ro;
+  std::string v;
+  ASSERT_TRUE(db_->Get(ro, "bulk12345", &v).ok());
+}
+
+}  // namespace
+}  // namespace clsm

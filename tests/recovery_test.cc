@@ -1,0 +1,197 @@
+// Crash recovery: a child process writes and dies without a clean close
+// (simulating the paper's crash model for asynchronous logging, §2.3/§4);
+// the parent reopens and checks what survived. Synchronously logged writes
+// must always survive; asynchronously logged ones may lose only a recent
+// suffix, never the middle, and the recovered state must be a consistent
+// timestamp-ordered prefix-closed view.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <memory>
+
+#include "src/baselines/factory.h"
+#include "src/core/write_batch.h"
+#include "tests/test_util.h"
+
+namespace clsm {
+namespace {
+
+class RecoveryTest : public ::testing::TestWithParam<DbVariant> {
+ protected:
+  RecoveryTest() : dir_("recovery") {}
+
+  // Runs fn in a forked child that then dies via _exit (no destructors, no
+  // WAL drain beyond what fn itself forced).
+  void RunInChildAndCrash(const std::function<void(DB*)>& fn) {
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      DB* db = nullptr;
+      Options options;
+      options.write_buffer_size = 1 << 20;
+      Status s = OpenDb(GetParam(), options, dir_.path() + "/db", &db);
+      if (!s.ok()) {
+        _exit(2);
+      }
+      fn(db);
+      _exit(0);  // crash: no delete db, no flush
+    }
+    int wstatus = 0;
+    ASSERT_EQ(pid, waitpid(pid, &wstatus, 0));
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    ASSERT_EQ(0, WEXITSTATUS(wstatus));
+  }
+
+  std::unique_ptr<DB> Reopen() {
+    DB* db = nullptr;
+    Options options;
+    options.write_buffer_size = 1 << 20;
+    Status s = OpenDb(GetParam(), options, dir_.path() + "/db", &db);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return std::unique_ptr<DB>(db);
+  }
+
+  ScratchDir dir_;
+};
+
+TEST_P(RecoveryTest, SyncWritesSurviveCrash) {
+  RunInChildAndCrash([](DB* db) {
+    WriteOptions sync_wo;
+    sync_wo.sync = true;
+    for (int i = 0; i < 50; i++) {
+      Status s = db->Put(sync_wo, "durable-" + std::to_string(i), "v" + std::to_string(i));
+      if (!s.ok()) {
+        _exit(3);
+      }
+    }
+  });
+
+  std::unique_ptr<DB> db = Reopen();
+  ReadOptions ro;
+  for (int i = 0; i < 50; i++) {
+    std::string v;
+    Status s = db->Get(ro, "durable-" + std::to_string(i), &v);
+    ASSERT_TRUE(s.ok()) << "synchronously logged write lost: " << i;
+    EXPECT_EQ("v" + std::to_string(i), v);
+  }
+}
+
+TEST_P(RecoveryTest, AsyncWritesBeforeSyncBarrierSurvive) {
+  // A sync write acts as a durability barrier: everything enqueued before
+  // it is on disk when it returns.
+  RunInChildAndCrash([](DB* db) {
+    WriteOptions wo;
+    for (int i = 0; i < 1000; i++) {
+      db->Put(wo, "async-" + std::to_string(i), "v");
+    }
+    WriteOptions sync_wo;
+    sync_wo.sync = true;
+    db->Put(sync_wo, "barrier", "done");
+  });
+
+  std::unique_ptr<DB> db = Reopen();
+  ReadOptions ro;
+  std::string v;
+  ASSERT_TRUE(db->Get(ro, "barrier", &v).ok());
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db->Get(ro, "async-" + std::to_string(i), &v).ok())
+        << "write before the sync barrier lost: " << i;
+  }
+}
+
+TEST_P(RecoveryTest, FlushedDataSurvivesWithoutWal) {
+  // Data that reached the disk component needs no WAL at all.
+  RunInChildAndCrash([](DB* db) {
+    WriteOptions wo;
+    for (int i = 0; i < 30000; i++) {
+      db->Put(wo, "flushed-" + std::to_string(i), std::string(64, 'x'));
+    }
+    db->WaitForMaintenance();  // guarantees at least one flush happened
+    WriteOptions sync_wo;
+    sync_wo.sync = true;
+    db->Put(sync_wo, "end-marker", "1");
+  });
+
+  std::unique_ptr<DB> db = Reopen();
+  ReadOptions ro;
+  std::string v;
+  for (int i = 0; i < 30000; i += 1111) {
+    ASSERT_TRUE(db->Get(ro, "flushed-" + std::to_string(i), &v).ok()) << i;
+  }
+}
+
+TEST_P(RecoveryTest, RepeatedCrashReopenCycles) {
+  for (int round = 0; round < 3; round++) {
+    RunInChildAndCrash([round](DB* db) {
+      WriteOptions sync_wo;
+      sync_wo.sync = true;
+      db->Put(sync_wo, "round-" + std::to_string(round), "done");
+    });
+    std::unique_ptr<DB> db = Reopen();
+    ReadOptions ro;
+    std::string v;
+    for (int r = 0; r <= round; r++) {
+      ASSERT_TRUE(db->Get(ro, "round-" + std::to_string(r), &v).ok())
+          << "round " << r << " lost after crash " << round;
+    }
+  }
+}
+
+TEST_P(RecoveryTest, BatchesRecoverAtomically) {
+  RunInChildAndCrash([](DB* db) {
+    WriteOptions wo;
+    for (int i = 0; i < 100; i++) {
+      WriteBatch batch;
+      batch.Put("batch" + std::to_string(i) + "-x", std::to_string(i));
+      batch.Put("batch" + std::to_string(i) + "-y", std::to_string(i));
+      db->Write(wo, &batch);
+    }
+    WriteOptions sync_wo;
+    sync_wo.sync = true;
+    db->Put(sync_wo, "barrier", "1");
+  });
+  std::unique_ptr<DB> db = Reopen();
+  ReadOptions ro;
+  std::string x, y;
+  for (int i = 0; i < 100; i++) {
+    Status sx = db->Get(ro, "batch" + std::to_string(i) + "-x", &x);
+    Status sy = db->Get(ro, "batch" + std::to_string(i) + "-y", &y);
+    // Both halves recovered (they preceded the sync barrier) and equal:
+    // a batch must never recover torn.
+    ASSERT_TRUE(sx.ok() && sy.ok()) << i;
+    EXPECT_EQ(x, y) << "batch " << i << " recovered torn";
+  }
+}
+
+TEST_P(RecoveryTest, DeletionsSurviveCrash) {
+  RunInChildAndCrash([](DB* db) {
+    WriteOptions sync_wo;
+    sync_wo.sync = true;
+    db->Put(sync_wo, "kept", "v");
+    db->Put(sync_wo, "killed", "v");
+    db->Delete(sync_wo, "killed");
+  });
+  std::unique_ptr<DB> db = Reopen();
+  ReadOptions ro;
+  std::string v;
+  EXPECT_TRUE(db->Get(ro, "kept", &v).ok());
+  EXPECT_TRUE(db->Get(ro, "killed", &v).IsNotFound());
+}
+
+INSTANTIATE_TEST_SUITE_P(ClsmAndLevelDb, RecoveryTest,
+                         ::testing::Values(DbVariant::kClsm, DbVariant::kLevelDb,
+                                           DbVariant::kHyperLevelDb),
+                         [](const ::testing::TestParamInfo<DbVariant>& info) {
+                           std::string name = VariantName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace clsm

@@ -1,0 +1,176 @@
+// RepairDb: reconstructing a store whose manifest/CURRENT were destroyed.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/clsm_db.h"
+#include "src/lsm/filename.h"
+#include "src/lsm/repair.h"
+#include "tests/test_util.h"
+
+namespace clsm {
+namespace {
+
+class RepairTest : public ::testing::Test {
+ protected:
+  RepairTest() : dir_("repair") {
+    options_.write_buffer_size = 64 * 1024;
+  }
+
+  std::string DbPath() const { return dir_.path() + "/db"; }
+
+  std::unique_ptr<DB> Open() {
+    DB* raw = nullptr;
+    Status s = ClsmDb::Open(options_, DbPath(), &raw);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return std::unique_ptr<DB>(raw);
+  }
+
+  void DestroyMetadata() {
+    Env* env = Env::Default();
+    std::vector<std::string> files;
+    ASSERT_TRUE(env->GetChildren(DbPath(), &files).ok());
+    for (const std::string& f : files) {
+      uint64_t number;
+      FileType type;
+      if (ParseFileName(f, &number, &type) &&
+          (type == kDescriptorFile || type == kCurrentFile)) {
+        ASSERT_TRUE(env->RemoveFile(DbPath() + "/" + f).ok());
+      }
+    }
+  }
+
+  ScratchDir dir_;
+  Options options_;
+};
+
+TEST_F(RepairTest, RecoversTablesAfterManifestLoss) {
+  {
+    auto db = Open();
+    WriteOptions wo;
+    for (int i = 0; i < 20000; i++) {
+      ASSERT_TRUE(db->Put(wo, "key" + std::to_string(i), "value" + std::to_string(i)).ok());
+    }
+    db->WaitForMaintenance();  // data now in tables across levels
+  }
+  DestroyMetadata();
+
+  // Without repair the store is unopenable.
+  {
+    DB* raw = nullptr;
+    Options no_create = options_;
+    no_create.create_if_missing = false;
+    EXPECT_FALSE(ClsmDb::Open(no_create, DbPath(), &raw).ok());
+  }
+
+  ASSERT_TRUE(RepairDb(options_, DbPath()).ok());
+
+  auto db = Open();
+  ReadOptions ro;
+  std::string v;
+  for (int i = 0; i < 20000; i += 501) {
+    ASSERT_TRUE(db->Get(ro, "key" + std::to_string(i), &v).ok()) << i;
+    EXPECT_EQ("value" + std::to_string(i), v);
+  }
+}
+
+TEST_F(RepairTest, NewestVersionWinsAfterRepair) {
+  {
+    auto db = Open();
+    WriteOptions wo;
+    // Several overwrite generations, each flushed, so versions of the same
+    // key live in different tables (including compacted ones).
+    for (int gen = 0; gen < 4; gen++) {
+      for (int i = 0; i < 4000; i++) {
+        ASSERT_TRUE(
+            db->Put(wo, "key" + std::to_string(i), "gen" + std::to_string(gen)).ok());
+      }
+      db->WaitForMaintenance();
+    }
+  }
+  DestroyMetadata();
+  ASSERT_TRUE(RepairDb(options_, DbPath()).ok());
+
+  auto db = Open();
+  ReadOptions ro;
+  std::string v;
+  for (int i = 0; i < 4000; i += 97) {
+    ASSERT_TRUE(db->Get(ro, "key" + std::to_string(i), &v).ok()) << i;
+    EXPECT_EQ("gen3", v) << "repair resurrected a stale version for key " << i;
+  }
+}
+
+TEST_F(RepairTest, SalvagesWalOnlyData) {
+  {
+    auto db = Open();
+    WriteOptions sync_wo;
+    sync_wo.sync = true;
+    // Small enough to stay in the memtable: only the WAL has it.
+    for (int i = 0; i < 50; i++) {
+      ASSERT_TRUE(db->Put(sync_wo, "wal-only" + std::to_string(i), "w").ok());
+    }
+    // Abandon without clean close semantics: release and leak nothing —
+    // the destructor drains the WAL, which is fine; the point is the data
+    // never reached a table.
+  }
+  DestroyMetadata();
+  ASSERT_TRUE(RepairDb(options_, DbPath()).ok());
+
+  auto db = Open();
+  ReadOptions ro;
+  std::string v;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db->Get(ro, "wal-only" + std::to_string(i), &v).ok()) << i;
+  }
+}
+
+TEST_F(RepairTest, DeletionsSurviveRepair) {
+  {
+    auto db = Open();
+    WriteOptions wo;
+    ASSERT_TRUE(db->Put(wo, "kept", "v").ok());
+    ASSERT_TRUE(db->Put(wo, "killed", "v").ok());
+    db->WaitForMaintenance();
+    ASSERT_TRUE(db->Delete(wo, "killed").ok());
+    WriteOptions sync_wo;
+    sync_wo.sync = true;
+    ASSERT_TRUE(db->Put(sync_wo, "barrier", "1").ok());
+  }
+  DestroyMetadata();
+  ASSERT_TRUE(RepairDb(options_, DbPath()).ok());
+
+  auto db = Open();
+  ReadOptions ro;
+  std::string v;
+  EXPECT_TRUE(db->Get(ro, "kept", &v).ok());
+  EXPECT_TRUE(db->Get(ro, "killed", &v).IsNotFound())
+      << "repair resurrected a deleted key";
+}
+
+TEST_F(RepairTest, RepairedStoreKeepsWorking) {
+  {
+    auto db = Open();
+    WriteOptions wo;
+    for (int i = 0; i < 5000; i++) {
+      ASSERT_TRUE(db->Put(wo, "old" + std::to_string(i), "v").ok());
+    }
+    db->WaitForMaintenance();
+  }
+  DestroyMetadata();
+  ASSERT_TRUE(RepairDb(options_, DbPath()).ok());
+
+  auto db = Open();
+  WriteOptions wo;
+  ReadOptions ro;
+  // Normal operation after repair: writes, flushes, compactions.
+  for (int i = 0; i < 20000; i++) {
+    ASSERT_TRUE(db->Put(wo, "new" + std::to_string(i), std::string(32, 'n')).ok());
+  }
+  db->WaitForMaintenance();
+  std::string v;
+  ASSERT_TRUE(db->Get(ro, "old123", &v).ok());
+  ASSERT_TRUE(db->Get(ro, "new19999", &v).ok());
+}
+
+}  // namespace
+}  // namespace clsm

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/arena/arena.h"
+#include "src/skiplist/concurrent_skiplist.h"
+#include "src/util/coding.h"
+#include "src/util/random.h"
+
+namespace clsm {
+namespace {
+
+// Keys are arena-encoded fixed64 big-endian-ish values so pointer keys have
+// stable storage. Comparator decodes and compares numerically.
+struct U64Comparator {
+  int operator()(const char* a, const char* b) const {
+    uint64_t va = DecodeFixed64(a);
+    uint64_t vb = DecodeFixed64(b);
+    if (va < vb) {
+      return -1;
+    }
+    if (va > vb) {
+      return +1;
+    }
+    return 0;
+  }
+};
+
+typedef ConcurrentSkipList<const char*, U64Comparator> TestList;
+
+class SkipListTest : public ::testing::Test {
+ protected:
+  const char* MakeKey(uint64_t v) {
+    char* p = arena_.AllocateAligned(8);
+    EncodeFixed64(p, v);
+    return p;
+  }
+
+  ConcurrentArena arena_;
+};
+
+TEST_F(SkipListTest, Empty) {
+  TestList list(U64Comparator(), &arena_);
+  EXPECT_FALSE(list.Contains(MakeKey(10)));
+
+  TestList::Iterator iter(&list);
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToFirst();
+  EXPECT_FALSE(iter.Valid());
+  iter.Seek(MakeKey(100));
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToLast();
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST_F(SkipListTest, InsertAndLookup) {
+  const int N = 2000;
+  const int R = 5000;
+  Random rnd(1000);
+  std::set<uint64_t> keys;
+  TestList list(U64Comparator(), &arena_);
+  for (int i = 0; i < N; i++) {
+    uint64_t key = rnd.Next() % R;
+    if (keys.insert(key).second) {
+      list.Insert(MakeKey(key));
+    }
+  }
+  EXPECT_EQ(keys.size(), list.ApproxCount());
+
+  for (uint64_t i = 0; i < R; i++) {
+    EXPECT_EQ(keys.count(i) == 1, list.Contains(MakeKey(i))) << i;
+  }
+
+  // Forward iteration yields exactly the sorted key set.
+  {
+    TestList::Iterator iter(&list);
+    iter.SeekToFirst();
+    for (uint64_t expected : keys) {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(expected, DecodeFixed64(iter.key()));
+      iter.Next();
+    }
+    EXPECT_FALSE(iter.Valid());
+  }
+
+  // Seek semantics: first element >= target.
+  {
+    TestList::Iterator iter(&list);
+    for (uint64_t probe = 0; probe < R; probe += 97) {
+      iter.Seek(MakeKey(probe));
+      auto it = keys.lower_bound(probe);
+      if (it == keys.end()) {
+        EXPECT_FALSE(iter.Valid());
+      } else {
+        ASSERT_TRUE(iter.Valid());
+        EXPECT_EQ(*it, DecodeFixed64(iter.key()));
+      }
+    }
+  }
+
+  // Backward iteration.
+  {
+    TestList::Iterator iter(&list);
+    iter.SeekToLast();
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(*it, DecodeFixed64(iter.key()));
+      iter.Prev();
+    }
+    EXPECT_FALSE(iter.Valid());
+  }
+}
+
+TEST_F(SkipListTest, ConcurrentInsertAllVisible) {
+  TestList list(U64Comparator(), &arena_);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        // Disjoint key ranges per thread; interleaved globally.
+        list.Insert(MakeKey(static_cast<uint64_t>(i) * kThreads + t));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(static_cast<size_t>(kThreads * kPerThread), list.ApproxCount());
+
+  // Every key present, in exact sorted order with no gaps.
+  TestList::Iterator iter(&list);
+  iter.SeekToFirst();
+  for (uint64_t expected = 0; expected < kThreads * kPerThread; expected++) {
+    ASSERT_TRUE(iter.Valid());
+    ASSERT_EQ(expected, DecodeFixed64(iter.key()));
+    iter.Next();
+  }
+  EXPECT_FALSE(iter.Valid());
+}
+
+// Weak consistency property (paper §3.2): an element present for the whole
+// duration of a scan is returned by the scan, even with concurrent inserts.
+TEST_F(SkipListTest, WeaklyConsistentIterators) {
+  TestList list(U64Comparator(), &arena_);
+  // Pre-populate even keys 0..2N.
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i <= kN; i++) {
+    list.Insert(MakeKey(i * 2));
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    // Concurrently insert odd keys.
+    for (uint64_t i = 0; i < kN && !stop.load(); i++) {
+      list.Insert(MakeKey(i * 2 + 1));
+    }
+  });
+
+  // Scan repeatedly; every even key must always be observed.
+  for (int round = 0; round < 5; round++) {
+    TestList::Iterator iter(&list);
+    iter.SeekToFirst();
+    uint64_t next_even = 0;
+    while (iter.Valid()) {
+      uint64_t k = DecodeFixed64(iter.key());
+      if ((k & 1) == 0) {
+        ASSERT_EQ(next_even, k) << "scan missed a stable element";
+        next_even += 2;
+      }
+      iter.Next();
+    }
+    ASSERT_EQ((kN + 1) * 2, next_even);
+  }
+  stop = true;
+  writer.join();
+}
+
+TEST_F(SkipListTest, InsertIfNoConflictDetectsSuccessorConflict) {
+  TestList list(U64Comparator(), &arena_);
+  list.Insert(MakeKey(100));
+  // Conflict predicate that rejects when the successor is key 100.
+  bool inserted = list.InsertIfNoConflict(
+      MakeKey(50), [&](const char* prev, bool prev_is_head, const char* succ, bool succ_at_end) {
+        return !succ_at_end && DecodeFixed64(succ) == 100;
+      });
+  EXPECT_FALSE(inserted);
+  EXPECT_FALSE(list.Contains(MakeKey(50)));
+
+  // Accepting predicate inserts.
+  inserted = list.InsertIfNoConflict(
+      MakeKey(50),
+      [&](const char*, bool, const char*, bool) { return false; });
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(list.Contains(MakeKey(50)));
+}
+
+TEST_F(SkipListTest, InsertIfNoConflictSeesPredecessor) {
+  TestList list(U64Comparator(), &arena_);
+  list.Insert(MakeKey(10));
+  uint64_t observed_prev = 0;
+  bool observed_head = true;
+  list.InsertIfNoConflict(MakeKey(20), [&](const char* prev, bool prev_is_head, const char* succ,
+                                           bool succ_at_end) {
+    observed_head = prev_is_head;
+    if (!prev_is_head) {
+      observed_prev = DecodeFixed64(prev);
+    }
+    EXPECT_TRUE(succ_at_end);
+    return false;
+  });
+  EXPECT_FALSE(observed_head);
+  EXPECT_EQ(10u, observed_prev);
+}
+
+// Under concurrent conditional inserts of the same key position, at most
+// one CAS can win per round — losers must report conflict, not insert.
+TEST_F(SkipListTest, ConditionalInsertRaceOneWinner) {
+  for (int round = 0; round < 200; round++) {
+    ConcurrentArena arena;
+    TestList list(U64Comparator(), &arena);
+    std::atomic<int> winners{0};
+    std::atomic<int> start{0};
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+      threads.emplace_back([&, t] {
+        char* key = arena.AllocateAligned(8);
+        EncodeFixed64(key, 1000 + t);  // distinct keys, same splice point
+        start.fetch_add(1);
+        while (start.load() < kThreads) {
+        }
+        // Conflict rule: reject if any neighbor exists (only the first
+        // inserter of the empty region can win).
+        bool ok = list.InsertIfNoConflict(
+            key, [](const char* prev, bool prev_is_head, const char* succ, bool succ_at_end) {
+              return !prev_is_head || !succ_at_end;
+            });
+        if (ok) {
+          winners.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    ASSERT_LE(winners.load(), 1) << "two conditional inserts won the same race";
+    ASSERT_EQ(winners.load() == 1 ? 1u : 0u, list.ApproxCount());
+  }
+}
+
+}  // namespace
+}  // namespace clsm

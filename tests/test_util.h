@@ -1,0 +1,42 @@
+// Shared helpers for the test suite: scratch directories and DB cleanup.
+#ifndef CLSM_TESTS_TEST_UTIL_H_
+#define CLSM_TESTS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/util/env.h"
+
+namespace clsm {
+
+// Creates (and on destruction recursively removes) a fresh scratch
+// directory under /tmp, unique per test.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    static int counter = 0;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "/tmp/clsm-test-%s-%d-%d", tag.c_str(), getpid(), counter++);
+    path_ = buf;
+    Cleanup();
+    Env::Default()->CreateDir(path_);
+  }
+
+  ~ScratchDir() { Cleanup(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void Cleanup() {
+    std::string cmd = "rm -rf " + path_;
+    int rc = system(cmd.c_str());
+    (void)rc;
+  }
+
+  std::string path_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_TESTS_TEST_UTIL_H_

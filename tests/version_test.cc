@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "src/lsm/dbformat.h"
+#include "src/lsm/filename.h"
+#include "src/lsm/version_edit.h"
+#include "src/lsm/version_set.h"
+
+namespace clsm {
+namespace {
+
+TEST(DbFormatTest, InternalKeyEncodingRoundTrip) {
+  ParsedInternalKey k("user-key", 777, kTypeValue);
+  std::string encoded;
+  AppendInternalKey(&encoded, k);
+  EXPECT_EQ(k.user_key.size() + 8, encoded.size());
+
+  ParsedInternalKey decoded;
+  ASSERT_TRUE(ParseInternalKey(encoded, &decoded));
+  EXPECT_EQ("user-key", decoded.user_key.ToString());
+  EXPECT_EQ(777u, decoded.sequence);
+  EXPECT_EQ(kTypeValue, decoded.type);
+
+  EXPECT_EQ("user-key", ExtractUserKey(encoded).ToString());
+  EXPECT_EQ(777u, ExtractSequence(encoded));
+}
+
+TEST(DbFormatTest, ParseRejectsMalformed) {
+  ParsedInternalKey out;
+  EXPECT_FALSE(ParseInternalKey(Slice("short"), &out));
+  // Bad type tag.
+  std::string encoded;
+  AppendInternalKey(&encoded, ParsedInternalKey("k", 1, kTypeValue));
+  encoded[encoded.size() - 8] = 0x7f;
+  EXPECT_FALSE(ParseInternalKey(encoded, &out));
+}
+
+TEST(DbFormatTest, InternalKeyOrdering) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  auto ikey = [](const std::string& k, SequenceNumber s) {
+    std::string r;
+    AppendInternalKey(&r, ParsedInternalKey(k, s, kTypeValue));
+    return r;
+  };
+  // User key ascending dominates.
+  EXPECT_LT(icmp.Compare(ikey("a", 1), ikey("b", 100)), 0);
+  // Same user key: higher sequence sorts FIRST (newest-first).
+  EXPECT_LT(icmp.Compare(ikey("a", 100), ikey("a", 1)), 0);
+  EXPECT_GT(icmp.Compare(ikey("a", 1), ikey("a", 100)), 0);
+  EXPECT_EQ(icmp.Compare(ikey("a", 5), ikey("a", 5)), 0);
+}
+
+TEST(DbFormatTest, LookupKeyViews) {
+  LookupKey lkey("the-user-key", 42);
+  EXPECT_EQ("the-user-key", lkey.user_key().ToString());
+  Slice ik = lkey.internal_key();
+  EXPECT_EQ("the-user-key", ExtractUserKey(ik).ToString());
+  EXPECT_EQ(42u, ExtractSequence(ik));
+  // Memtable key = varint length prefix + internal key.
+  Slice mk = lkey.memtable_key();
+  uint32_t len;
+  Slice tmp = mk;
+  ASSERT_TRUE(GetVarint32(&tmp, &len));
+  EXPECT_EQ(ik.size(), len);
+
+  // Long keys take the heap path.
+  std::string long_key(500, 'q');
+  LookupKey lk2(long_key, 7);
+  EXPECT_EQ(long_key, lk2.user_key().ToString());
+}
+
+TEST(VersionEditTest, EncodeDecodeRoundTrip) {
+  VersionEdit edit;
+  edit.SetComparatorName("clsm.BytewiseComparator");
+  edit.SetLogNumber(42);
+  edit.SetNextFile(100);
+  edit.SetLastSequence(999999);
+  edit.SetCompactPointer(2, InternalKey("pivot", 55, kTypeValue));
+  edit.AddFile(1, 10, 2048, InternalKey("a", 1, kTypeValue), InternalKey("m", 2, kTypeValue));
+  edit.AddFile(3, 11, 4096, InternalKey("n", 3, kTypeValue), InternalKey("z", 4, kTypeValue));
+  edit.RemoveFile(2, 5);
+
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(encoded).ok());
+
+  std::string encoded2;
+  decoded.EncodeTo(&encoded2);
+  EXPECT_EQ(encoded, encoded2);
+  EXPECT_NE(decoded.DebugString().find("LogNumber: 42"), std::string::npos);
+  EXPECT_NE(decoded.DebugString().find("AddFile: L1 #10"), std::string::npos);
+  EXPECT_NE(decoded.DebugString().find("RemoveFile: L2 #5"), std::string::npos);
+}
+
+TEST(VersionEditTest, DecodeRejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_FALSE(edit.DecodeFrom(Slice("\x09garbage-tag")).ok());
+}
+
+TEST(FileNameTest, ConstructionAndParsing) {
+  struct Case {
+    std::string fname;
+    uint64_t number;
+    FileType type;
+  };
+  Case cases[] = {
+      {"000003.log", 3, kLogFile},
+      {"000100.sst", 100, kTableFile},
+      {"MANIFEST-000002", 2, kDescriptorFile},
+      {"CURRENT", 0, kCurrentFile},
+      {"LOCK", 0, kDBLockFile},
+      {"000077.dbtmp", 77, kTempFile},
+  };
+  for (const Case& c : cases) {
+    uint64_t number;
+    FileType type;
+    ASSERT_TRUE(ParseFileName(c.fname, &number, &type)) << c.fname;
+    EXPECT_EQ(c.number, number) << c.fname;
+    EXPECT_EQ(c.type, type) << c.fname;
+  }
+  for (const char* bad : {"", "foo", "foo-dx-100.log", ".log", "manifest-3", "100", "100.unknown"}) {
+    uint64_t number;
+    FileType type;
+    EXPECT_FALSE(ParseFileName(bad, &number, &type)) << bad;
+  }
+
+  EXPECT_EQ("/db/000007.log", LogFileName("/db", 7));
+  EXPECT_EQ("/db/000008.sst", TableFileName("/db", 8));
+  EXPECT_EQ("/db/MANIFEST-000009", DescriptorFileName("/db", 9));
+  EXPECT_EQ("/db/CURRENT", CurrentFileName("/db"));
+}
+
+TEST(FindFileTest, BinarySearchSemantics) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  std::vector<FileRef> files;
+  auto add = [&](const std::string& smallest, const std::string& largest) {
+    auto f = std::make_shared<FileMetaData>();
+    f->number = files.size() + 1;
+    f->smallest = InternalKey(smallest, 100, kTypeValue);
+    f->largest = InternalKey(largest, 100, kTypeValue);
+    files.push_back(f);
+  };
+  auto probe = [&](const std::string& key) {
+    InternalKey target(key, kMaxSequenceNumber, kValueTypeForSeek);
+    return FindFile(icmp, files, target.Encode());
+  };
+
+  EXPECT_EQ(0, probe("foo"));  // empty set
+
+  add("c", "e");
+  add("g", "i");
+  add("m", "p");
+  EXPECT_EQ(0, probe("a"));
+  EXPECT_EQ(0, probe("c"));
+  EXPECT_EQ(0, probe("e"));
+  EXPECT_EQ(1, probe("f"));
+  EXPECT_EQ(1, probe("i"));
+  EXPECT_EQ(2, probe("j"));
+  EXPECT_EQ(2, probe("p"));
+  EXPECT_EQ(3, probe("q"));
+
+  // Overlap queries.
+  Slice small("f"), large("f2");
+  EXPECT_FALSE(SomeFileOverlapsRange(icmp, true, files, &small, &large));
+  Slice small2("d"), large2("h");
+  EXPECT_TRUE(SomeFileOverlapsRange(icmp, true, files, &small2, &large2));
+  // Unbounded ends.
+  EXPECT_TRUE(SomeFileOverlapsRange(icmp, true, files, nullptr, &large2));
+  Slice before("a");
+  EXPECT_FALSE(SomeFileOverlapsRange(icmp, true, files, nullptr, &before));
+}
+
+}  // namespace
+}  // namespace clsm

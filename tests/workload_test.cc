@@ -1,0 +1,197 @@
+// Tests of the workload generators: distribution shape properties must
+// match the statistics the paper reports for its inputs (§5.1-§5.2), since
+// the benchmark conclusions depend on them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/factory.h"
+#include "src/workload/driver.h"
+#include "src/workload/generator.h"
+#include "src/workload/trace.h"
+#include "tests/test_util.h"
+
+namespace clsm {
+namespace {
+
+TEST(KeyEncodingTest, OrderPreserving) {
+  std::string a, b;
+  for (uint64_t i = 0; i < 2000; i += 37) {
+    EncodeWorkloadKey(i, 8, &a);
+    EncodeWorkloadKey(i + 1, 8, &b);
+    EXPECT_LT(Slice(a).compare(Slice(b)), 0) << i;
+    EXPECT_EQ(8u, a.size());
+  }
+  // Larger key sizes pad but keep the ordering prefix.
+  EncodeWorkloadKey(5, 40, &a);
+  EncodeWorkloadKey(6, 40, &b);
+  EXPECT_EQ(40u, a.size());
+  EXPECT_LT(Slice(a).compare(Slice(b)), 0);
+}
+
+TEST(UniformGeneratorTest, CoversRangeRoughlyEvenly) {
+  UniformGenerator gen(100, 42);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; i++) {
+    uint64_t k = gen.Next();
+    ASSERT_LT(k, 100u);
+    counts[k]++;
+  }
+  auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*min_it, 700);
+  EXPECT_LT(*max_it, 1300);
+}
+
+TEST(HotBlockGeneratorTest, NinetyTenShape) {
+  // Paper §5.1: 90% of keys from popular blocks comprising 10% of the DB.
+  const uint64_t n = 100000;
+  HotBlockGenerator gen(n, 0.10, 0.90, 7);
+  std::map<uint64_t, int> counts;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; i++) {
+    counts[gen.Next()]++;
+  }
+  // Sort keys by frequency; the top 10% of the keyspace must absorb ~90%.
+  std::vector<int> freqs;
+  for (auto& [k, c] : counts) {
+    freqs.push_back(c);
+  }
+  std::sort(freqs.rbegin(), freqs.rend());
+  long hot = 0, total = 0;
+  for (size_t i = 0; i < freqs.size(); i++) {
+    if (i < n / 10) {
+      hot += freqs[i];
+    }
+    total += freqs[i];
+  }
+  double hot_fraction = static_cast<double>(hot) / total;
+  EXPECT_GT(hot_fraction, 0.85);
+}
+
+TEST(ZipfianGeneratorTest, HeavyTailMatchesProductionStats) {
+  // Paper §5.2: ~10% of keys account for 75%+ of requests; the most popular
+  // 1-2% account for ~50%.
+  const uint64_t n = 100000;
+  ZipfianGenerator gen(n, 0.99, 123);
+  std::map<uint64_t, int> counts;
+  const int kSamples = 500000;
+  for (int i = 0; i < kSamples; i++) {
+    uint64_t k = gen.Next();
+    ASSERT_LT(k, n);
+    counts[k]++;
+  }
+  std::vector<int> freqs;
+  for (auto& [k, c] : counts) {
+    freqs.push_back(c);
+  }
+  std::sort(freqs.rbegin(), freqs.rend());
+  auto share_of_top = [&](double fraction) {
+    size_t limit = static_cast<size_t>(n * fraction);
+    long top = 0, total = 0;
+    for (size_t i = 0; i < freqs.size(); i++) {
+      if (i < limit) {
+        top += freqs[i];
+      }
+      total += freqs[i];
+    }
+    return static_cast<double>(top) / total;
+  };
+  EXPECT_GT(share_of_top(0.10), 0.70);
+  EXPECT_GT(share_of_top(0.02), 0.40);
+}
+
+TEST(ZipfianGeneratorTest, ScrambleSpreadsPopularKeys) {
+  const uint64_t n = 10000;
+  ZipfianGenerator gen(n, 0.99, 5, /*scramble=*/true);
+  // The two most popular keys should not be adjacent indices (rank 0/1
+  // without scrambling).
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    counts[gen.Next()]++;
+  }
+  uint64_t top_key = 0;
+  int top_count = 0;
+  for (auto& [k, c] : counts) {
+    if (c > top_count) {
+      top_count = c;
+      top_key = k;
+    }
+  }
+  EXPECT_NE(0u, top_key) << "rank-0 key should be scrambled away from index 0";
+}
+
+TEST(ValueGeneratorTest, SizesAndVariety) {
+  ValueGenerator gen(256, 9);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; i++) {
+    Slice v = gen.Next();
+    EXPECT_EQ(256u, v.size());
+    seen.insert(v.ToString());
+  }
+  EXPECT_GT(seen.size(), 50u) << "values should vary";
+}
+
+TEST(TraceTest, ProductionSpecsMatchFigure10) {
+  auto specs = ProductionTraceSpecs(10000);
+  ASSERT_EQ(4u, specs.size());
+  EXPECT_NEAR(specs[0].read_fraction, 0.93, 1e-9);
+  EXPECT_NEAR(specs[1].read_fraction, 0.85, 1e-9);
+  EXPECT_NEAR(specs[2].read_fraction, 0.96, 1e-9);
+  EXPECT_NEAR(specs[3].read_fraction, 0.86, 1e-9);
+  for (const auto& spec : specs) {
+    EXPECT_EQ(40u, spec.key_size);
+    EXPECT_EQ(1024u, spec.value_size);
+  }
+}
+
+TEST(TraceTest, GeneratorHonorsReadFraction) {
+  TraceSpec spec = ProductionTraceSpecs(1000)[1];  // 85% reads
+  TraceGenerator gen(spec, 11);
+  int reads = 0;
+  const int kOps = 50000;
+  for (int i = 0; i < kOps; i++) {
+    if (gen.NextOpType() == TraceOpType::kGet) {
+      reads++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kOps, 0.85, 0.02);
+  std::string key;
+  gen.NextKey(&key);
+  EXPECT_EQ(40u, key.size());
+  EXPECT_EQ(1024u, gen.NextValue().size());
+}
+
+TEST(DriverTest, RunsMixAndCounts) {
+  ScratchDir dir("driver");
+  Options options;
+  options.write_buffer_size = 1 << 20;
+  DB* raw = nullptr;
+  ASSERT_TRUE(OpenDb(DbVariant::kClsm, options, dir.path() + "/db", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  ASSERT_TRUE(LoadKeySpace(db.get(), 2000, 8, 64).ok());
+
+  WorkloadSpec spec;
+  spec.num_keys = 2000;
+  spec.write_fraction = 0.5;
+  spec.scan_fraction = 0.1;
+  spec.rmw_fraction = 0.1;
+  spec.value_size = 64;
+  DriverResult result = RunWorkload(db.get(), spec, 2, 300);
+
+  EXPECT_GT(result.total_ops, 100u);
+  EXPECT_EQ(result.total_ops, result.reads + result.writes + result.scans + result.rmws);
+  EXPECT_GT(result.writes, 0u);
+  EXPECT_GT(result.scans, 0u);
+  EXPECT_GT(result.rmws, 0u);
+  EXPECT_GT(result.ops_per_sec, 0.0);
+  EXPECT_GE(result.keys_per_sec, result.ops_per_sec * 0.9);
+  EXPECT_GT(result.latency_micros.Num(), 0.0);
+  EXPECT_FALSE(result.Summary().empty());
+}
+
+}  // namespace
+}  // namespace clsm

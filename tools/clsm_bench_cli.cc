@@ -1,0 +1,168 @@
+// clsm_bench: db_bench-style command-line workload runner. Runs any
+// operation mix against any DB variant with any thread count — the manual
+// companion to the per-figure binaries in bench/.
+//
+//   clsm_bench --db=/tmp/x --variant=clsm --threads=8 --duration_ms=5000 \
+//              --writes=0.5 --scans=0.05 --rmws=0.05 --dist=hotblock \
+//              --keys=1000000 --value_size=256 --preload=500000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/baselines/factory.h"
+#include "src/workload/driver.h"
+
+using namespace clsm;
+
+namespace {
+
+struct Flags {
+  std::string db = "/tmp/clsm-bench-cli";
+  std::string variant = "clsm";
+  std::string dist = "uniform";
+  int threads = 4;
+  int duration_ms = 3000;
+  double writes = 0.0;
+  double scans = 0.0;
+  double rmws = 0.0;
+  uint64_t keys = 1'000'000;
+  uint64_t preload = 200'000;
+  size_t key_size = 8;
+  size_t value_size = 256;
+  size_t write_buffer = 8 << 20;
+  bool fresh = true;
+  bool stats = false;
+  double zipf_theta = 0.99;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  fprintf(stderr,
+          "flags: --db=PATH --variant=clsm|leveldb|hyperleveldb|rocksdb|blsm|striped-rmw\n"
+          "       --threads=N --duration_ms=N --writes=F --scans=F --rmws=F\n"
+          "       --dist=uniform|hotblock|zipfian --zipf_theta=F\n"
+          "       --keys=N --preload=N --key_size=N --value_size=N\n"
+          "       --write_buffer=BYTES --keep (reuse existing db) --stats\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; i++) {
+    std::string v;
+    if (ParseFlag(argv[i], "db", &v)) {
+      flags.db = v;
+    } else if (ParseFlag(argv[i], "variant", &v)) {
+      flags.variant = v;
+    } else if (ParseFlag(argv[i], "dist", &v)) {
+      flags.dist = v;
+    } else if (ParseFlag(argv[i], "threads", &v)) {
+      flags.threads = atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "duration_ms", &v)) {
+      flags.duration_ms = atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "writes", &v)) {
+      flags.writes = atof(v.c_str());
+    } else if (ParseFlag(argv[i], "scans", &v)) {
+      flags.scans = atof(v.c_str());
+    } else if (ParseFlag(argv[i], "rmws", &v)) {
+      flags.rmws = atof(v.c_str());
+    } else if (ParseFlag(argv[i], "keys", &v)) {
+      flags.keys = strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "preload", &v)) {
+      flags.preload = strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "key_size", &v)) {
+      flags.key_size = atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "value_size", &v)) {
+      flags.value_size = atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "write_buffer", &v)) {
+      flags.write_buffer = strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "zipf_theta", &v)) {
+      flags.zipf_theta = atof(v.c_str());
+    } else if (strcmp(argv[i], "--keep") == 0) {
+      flags.fresh = false;
+    } else if (strcmp(argv[i], "--stats") == 0) {
+      flags.stats = true;
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  DbVariant variant;
+  if (!ParseVariant(flags.variant, &variant)) {
+    fprintf(stderr, "unknown variant: %s\n", flags.variant.c_str());
+    return Usage();
+  }
+
+  if (flags.fresh) {
+    std::string cmd = "rm -rf " + flags.db;
+    int rc = system(cmd.c_str());
+    (void)rc;
+  }
+
+  Options options;
+  options.write_buffer_size = flags.write_buffer;
+  DB* raw = nullptr;
+  Status s = OpenDb(variant, options, flags.db, &raw);
+  if (!s.ok()) {
+    fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DB> db(raw);
+
+  if (flags.preload > 0 && flags.fresh) {
+    fprintf(stderr, "preloading %llu keys...\n",
+            static_cast<unsigned long long>(flags.preload));
+    s = LoadKeySpace(db.get(), flags.preload, flags.key_size, flags.value_size);
+    if (!s.ok()) {
+      fprintf(stderr, "preload: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  WorkloadSpec spec;
+  spec.write_fraction = flags.writes;
+  spec.scan_fraction = flags.scans;
+  spec.rmw_fraction = flags.rmws;
+  spec.num_keys = flags.keys;
+  spec.key_size = flags.key_size;
+  spec.value_size = flags.value_size;
+  spec.zipf_theta = flags.zipf_theta;
+  if (flags.dist == "hotblock") {
+    spec.distribution = KeyDist::kHotBlock;
+  } else if (flags.dist == "zipfian") {
+    spec.distribution = KeyDist::kZipfian;
+  } else {
+    spec.distribution = KeyDist::kUniform;
+  }
+
+  fprintf(stderr, "running %s: %d threads, %d ms...\n", flags.variant.c_str(), flags.threads,
+          flags.duration_ms);
+  DriverResult result = RunWorkload(db.get(), spec, flags.threads, flags.duration_ms);
+
+  printf("%s  threads=%d  %s\n", flags.variant.c_str(), flags.threads,
+         result.Summary().c_str());
+  printf("ops: reads=%llu writes=%llu scans=%llu rmws=%llu\n",
+         static_cast<unsigned long long>(result.reads),
+         static_cast<unsigned long long>(result.writes),
+         static_cast<unsigned long long>(result.scans),
+         static_cast<unsigned long long>(result.rmws));
+  if (flags.stats) {
+    printf("--- internal stats ---\n%s", db->GetProperty("clsm.stats").c_str());
+    printf("levels: %s\n", db->GetProperty("clsm.levels").c_str());
+  }
+  db->WaitForMaintenance();
+  return 0;
+}

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_read.cc" "bench/CMakeFiles/bench_fig6_read.dir/bench_fig6_read.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_read.dir/bench_fig6_read.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/clsm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

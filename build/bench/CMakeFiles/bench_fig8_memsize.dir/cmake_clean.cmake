@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_memsize.dir/bench_fig8_memsize.cc.o"
+  "CMakeFiles/bench_fig8_memsize.dir/bench_fig8_memsize.cc.o.d"
+  "bench_fig8_memsize"
+  "bench_fig8_memsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_memsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_rmw.dir/bench_fig9_rmw.cc.o"
+  "CMakeFiles/bench_fig9_rmw.dir/bench_fig9_rmw.cc.o.d"
+  "bench_fig9_rmw"
+  "bench_fig9_rmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_summary.dir/bench_scalability_summary.cc.o"
+  "CMakeFiles/bench_scalability_summary.dir/bench_scalability_summary.cc.o.d"
+  "bench_scalability_summary"
+  "bench_scalability_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/clsm_bench_common.dir/bench_common.cc.o.d"
+  "libclsm_bench_common.a"
+  "libclsm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analytics_scan.dir/analytics_scan.cpp.o"
+  "CMakeFiles/example_analytics_scan.dir/analytics_scan.cpp.o.d"
+  "example_analytics_scan"
+  "example_analytics_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analytics_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/vector_clock_reconcile.cpp" "examples/CMakeFiles/example_vector_clock_reconcile.dir/vector_clock_reconcile.cpp.o" "gcc" "examples/CMakeFiles/example_vector_clock_reconcile.dir/vector_clock_reconcile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clsm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vector_clock_reconcile.dir/vector_clock_reconcile.cpp.o"
+  "CMakeFiles/example_vector_clock_reconcile.dir/vector_clock_reconcile.cpp.o.d"
+  "example_vector_clock_reconcile"
+  "example_vector_clock_reconcile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vector_clock_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

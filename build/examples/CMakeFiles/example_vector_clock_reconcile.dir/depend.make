@@ -1,0 +1,2 @@
+# Empty dependencies file for example_vector_clock_reconcile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_arena.dir/arena/arena.cc.o"
+  "CMakeFiles/clsm_arena.dir/arena/arena.cc.o.d"
+  "libclsm_arena.a"
+  "libclsm_arena.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

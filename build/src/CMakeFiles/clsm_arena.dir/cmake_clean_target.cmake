@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclsm_arena.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_db.cc" "src/CMakeFiles/clsm_baselines.dir/baselines/baseline_db.cc.o" "gcc" "src/CMakeFiles/clsm_baselines.dir/baselines/baseline_db.cc.o.d"
+  "/root/repo/src/baselines/factory.cc" "src/CMakeFiles/clsm_baselines.dir/baselines/factory.cc.o" "gcc" "src/CMakeFiles/clsm_baselines.dir/baselines/factory.cc.o.d"
+  "/root/repo/src/baselines/fine_grained_db.cc" "src/CMakeFiles/clsm_baselines.dir/baselines/fine_grained_db.cc.o" "gcc" "src/CMakeFiles/clsm_baselines.dir/baselines/fine_grained_db.cc.o.d"
+  "/root/repo/src/baselines/merge_scheduler_db.cc" "src/CMakeFiles/clsm_baselines.dir/baselines/merge_scheduler_db.cc.o" "gcc" "src/CMakeFiles/clsm_baselines.dir/baselines/merge_scheduler_db.cc.o.d"
+  "/root/repo/src/baselines/partitioned_db.cc" "src/CMakeFiles/clsm_baselines.dir/baselines/partitioned_db.cc.o" "gcc" "src/CMakeFiles/clsm_baselines.dir/baselines/partitioned_db.cc.o.d"
+  "/root/repo/src/baselines/sharded_db.cc" "src/CMakeFiles/clsm_baselines.dir/baselines/sharded_db.cc.o" "gcc" "src/CMakeFiles/clsm_baselines.dir/baselines/sharded_db.cc.o.d"
+  "/root/repo/src/baselines/single_writer_db.cc" "src/CMakeFiles/clsm_baselines.dir/baselines/single_writer_db.cc.o" "gcc" "src/CMakeFiles/clsm_baselines.dir/baselines/single_writer_db.cc.o.d"
+  "/root/repo/src/baselines/striped_rmw.cc" "src/CMakeFiles/clsm_baselines.dir/baselines/striped_rmw.cc.o" "gcc" "src/CMakeFiles/clsm_baselines.dir/baselines/striped_rmw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

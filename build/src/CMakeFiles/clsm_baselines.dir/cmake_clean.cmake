@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_baselines.dir/baselines/baseline_db.cc.o"
+  "CMakeFiles/clsm_baselines.dir/baselines/baseline_db.cc.o.d"
+  "CMakeFiles/clsm_baselines.dir/baselines/factory.cc.o"
+  "CMakeFiles/clsm_baselines.dir/baselines/factory.cc.o.d"
+  "CMakeFiles/clsm_baselines.dir/baselines/fine_grained_db.cc.o"
+  "CMakeFiles/clsm_baselines.dir/baselines/fine_grained_db.cc.o.d"
+  "CMakeFiles/clsm_baselines.dir/baselines/merge_scheduler_db.cc.o"
+  "CMakeFiles/clsm_baselines.dir/baselines/merge_scheduler_db.cc.o.d"
+  "CMakeFiles/clsm_baselines.dir/baselines/partitioned_db.cc.o"
+  "CMakeFiles/clsm_baselines.dir/baselines/partitioned_db.cc.o.d"
+  "CMakeFiles/clsm_baselines.dir/baselines/sharded_db.cc.o"
+  "CMakeFiles/clsm_baselines.dir/baselines/sharded_db.cc.o.d"
+  "CMakeFiles/clsm_baselines.dir/baselines/single_writer_db.cc.o"
+  "CMakeFiles/clsm_baselines.dir/baselines/single_writer_db.cc.o.d"
+  "CMakeFiles/clsm_baselines.dir/baselines/striped_rmw.cc.o"
+  "CMakeFiles/clsm_baselines.dir/baselines/striped_rmw.cc.o.d"
+  "libclsm_baselines.a"
+  "libclsm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

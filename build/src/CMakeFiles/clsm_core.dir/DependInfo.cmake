@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clsm_db.cc" "src/CMakeFiles/clsm_core.dir/core/clsm_db.cc.o" "gcc" "src/CMakeFiles/clsm_core.dir/core/clsm_db.cc.o.d"
+  "/root/repo/src/core/db_iter.cc" "src/CMakeFiles/clsm_core.dir/core/db_iter.cc.o" "gcc" "src/CMakeFiles/clsm_core.dir/core/db_iter.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/clsm_core.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/clsm_core.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/clsm_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/clsm_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/write_batch.cc" "src/CMakeFiles/clsm_core.dir/core/write_batch.cc.o" "gcc" "src/CMakeFiles/clsm_core.dir/core/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clsm_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_core.dir/core/clsm_db.cc.o"
+  "CMakeFiles/clsm_core.dir/core/clsm_db.cc.o.d"
+  "CMakeFiles/clsm_core.dir/core/db_iter.cc.o"
+  "CMakeFiles/clsm_core.dir/core/db_iter.cc.o.d"
+  "CMakeFiles/clsm_core.dir/core/snapshot.cc.o"
+  "CMakeFiles/clsm_core.dir/core/snapshot.cc.o.d"
+  "CMakeFiles/clsm_core.dir/core/stats.cc.o"
+  "CMakeFiles/clsm_core.dir/core/stats.cc.o.d"
+  "CMakeFiles/clsm_core.dir/core/write_batch.cc.o"
+  "CMakeFiles/clsm_core.dir/core/write_batch.cc.o.d"
+  "libclsm_core.a"
+  "libclsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/dbformat.cc" "src/CMakeFiles/clsm_lsm.dir/lsm/dbformat.cc.o" "gcc" "src/CMakeFiles/clsm_lsm.dir/lsm/dbformat.cc.o.d"
+  "/root/repo/src/lsm/filename.cc" "src/CMakeFiles/clsm_lsm.dir/lsm/filename.cc.o" "gcc" "src/CMakeFiles/clsm_lsm.dir/lsm/filename.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/clsm_lsm.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/clsm_lsm.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/repair.cc" "src/CMakeFiles/clsm_lsm.dir/lsm/repair.cc.o" "gcc" "src/CMakeFiles/clsm_lsm.dir/lsm/repair.cc.o.d"
+  "/root/repo/src/lsm/storage_engine.cc" "src/CMakeFiles/clsm_lsm.dir/lsm/storage_engine.cc.o" "gcc" "src/CMakeFiles/clsm_lsm.dir/lsm/storage_engine.cc.o.d"
+  "/root/repo/src/lsm/table_cache.cc" "src/CMakeFiles/clsm_lsm.dir/lsm/table_cache.cc.o" "gcc" "src/CMakeFiles/clsm_lsm.dir/lsm/table_cache.cc.o.d"
+  "/root/repo/src/lsm/version_edit.cc" "src/CMakeFiles/clsm_lsm.dir/lsm/version_edit.cc.o" "gcc" "src/CMakeFiles/clsm_lsm.dir/lsm/version_edit.cc.o.d"
+  "/root/repo/src/lsm/version_set.cc" "src/CMakeFiles/clsm_lsm.dir/lsm/version_set.cc.o" "gcc" "src/CMakeFiles/clsm_lsm.dir/lsm/version_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clsm_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_lsm.dir/lsm/dbformat.cc.o"
+  "CMakeFiles/clsm_lsm.dir/lsm/dbformat.cc.o.d"
+  "CMakeFiles/clsm_lsm.dir/lsm/filename.cc.o"
+  "CMakeFiles/clsm_lsm.dir/lsm/filename.cc.o.d"
+  "CMakeFiles/clsm_lsm.dir/lsm/memtable.cc.o"
+  "CMakeFiles/clsm_lsm.dir/lsm/memtable.cc.o.d"
+  "CMakeFiles/clsm_lsm.dir/lsm/repair.cc.o"
+  "CMakeFiles/clsm_lsm.dir/lsm/repair.cc.o.d"
+  "CMakeFiles/clsm_lsm.dir/lsm/storage_engine.cc.o"
+  "CMakeFiles/clsm_lsm.dir/lsm/storage_engine.cc.o.d"
+  "CMakeFiles/clsm_lsm.dir/lsm/table_cache.cc.o"
+  "CMakeFiles/clsm_lsm.dir/lsm/table_cache.cc.o.d"
+  "CMakeFiles/clsm_lsm.dir/lsm/version_edit.cc.o"
+  "CMakeFiles/clsm_lsm.dir/lsm/version_edit.cc.o.d"
+  "CMakeFiles/clsm_lsm.dir/lsm/version_set.cc.o"
+  "CMakeFiles/clsm_lsm.dir/lsm/version_set.cc.o.d"
+  "libclsm_lsm.a"
+  "libclsm_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

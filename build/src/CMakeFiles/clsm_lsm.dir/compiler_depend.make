@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for clsm_lsm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/active_set.cc" "src/CMakeFiles/clsm_sync.dir/sync/active_set.cc.o" "gcc" "src/CMakeFiles/clsm_sync.dir/sync/active_set.cc.o.d"
+  "/root/repo/src/sync/ref_guard.cc" "src/CMakeFiles/clsm_sync.dir/sync/ref_guard.cc.o" "gcc" "src/CMakeFiles/clsm_sync.dir/sync/ref_guard.cc.o.d"
+  "/root/repo/src/sync/shared_exclusive_lock.cc" "src/CMakeFiles/clsm_sync.dir/sync/shared_exclusive_lock.cc.o" "gcc" "src/CMakeFiles/clsm_sync.dir/sync/shared_exclusive_lock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

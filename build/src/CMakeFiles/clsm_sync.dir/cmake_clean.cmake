@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_sync.dir/sync/active_set.cc.o"
+  "CMakeFiles/clsm_sync.dir/sync/active_set.cc.o.d"
+  "CMakeFiles/clsm_sync.dir/sync/ref_guard.cc.o"
+  "CMakeFiles/clsm_sync.dir/sync/ref_guard.cc.o.d"
+  "CMakeFiles/clsm_sync.dir/sync/shared_exclusive_lock.cc.o"
+  "CMakeFiles/clsm_sync.dir/sync/shared_exclusive_lock.cc.o.d"
+  "libclsm_sync.a"
+  "libclsm_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

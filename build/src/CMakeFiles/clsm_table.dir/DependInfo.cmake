@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/block.cc" "src/CMakeFiles/clsm_table.dir/table/block.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/block.cc.o.d"
+  "/root/repo/src/table/block_builder.cc" "src/CMakeFiles/clsm_table.dir/table/block_builder.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/block_builder.cc.o.d"
+  "/root/repo/src/table/bloom.cc" "src/CMakeFiles/clsm_table.dir/table/bloom.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/bloom.cc.o.d"
+  "/root/repo/src/table/cache.cc" "src/CMakeFiles/clsm_table.dir/table/cache.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/cache.cc.o.d"
+  "/root/repo/src/table/filter_block.cc" "src/CMakeFiles/clsm_table.dir/table/filter_block.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/filter_block.cc.o.d"
+  "/root/repo/src/table/format.cc" "src/CMakeFiles/clsm_table.dir/table/format.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/format.cc.o.d"
+  "/root/repo/src/table/iterator.cc" "src/CMakeFiles/clsm_table.dir/table/iterator.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/iterator.cc.o.d"
+  "/root/repo/src/table/merging_iterator.cc" "src/CMakeFiles/clsm_table.dir/table/merging_iterator.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/merging_iterator.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/clsm_table.dir/table/table.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/table.cc.o.d"
+  "/root/repo/src/table/table_builder.cc" "src/CMakeFiles/clsm_table.dir/table/table_builder.cc.o" "gcc" "src/CMakeFiles/clsm_table.dir/table/table_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/clsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/clsm_arena.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_table.dir/table/block.cc.o"
+  "CMakeFiles/clsm_table.dir/table/block.cc.o.d"
+  "CMakeFiles/clsm_table.dir/table/block_builder.cc.o"
+  "CMakeFiles/clsm_table.dir/table/block_builder.cc.o.d"
+  "CMakeFiles/clsm_table.dir/table/bloom.cc.o"
+  "CMakeFiles/clsm_table.dir/table/bloom.cc.o.d"
+  "CMakeFiles/clsm_table.dir/table/cache.cc.o"
+  "CMakeFiles/clsm_table.dir/table/cache.cc.o.d"
+  "CMakeFiles/clsm_table.dir/table/filter_block.cc.o"
+  "CMakeFiles/clsm_table.dir/table/filter_block.cc.o.d"
+  "CMakeFiles/clsm_table.dir/table/format.cc.o"
+  "CMakeFiles/clsm_table.dir/table/format.cc.o.d"
+  "CMakeFiles/clsm_table.dir/table/iterator.cc.o"
+  "CMakeFiles/clsm_table.dir/table/iterator.cc.o.d"
+  "CMakeFiles/clsm_table.dir/table/merging_iterator.cc.o"
+  "CMakeFiles/clsm_table.dir/table/merging_iterator.cc.o.d"
+  "CMakeFiles/clsm_table.dir/table/table.cc.o"
+  "CMakeFiles/clsm_table.dir/table/table.cc.o.d"
+  "CMakeFiles/clsm_table.dir/table/table_builder.cc.o"
+  "CMakeFiles/clsm_table.dir/table/table_builder.cc.o.d"
+  "libclsm_table.a"
+  "libclsm_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

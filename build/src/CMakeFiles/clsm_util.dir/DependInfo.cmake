@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/clsm_util.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/clsm_util.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/comparator.cc" "src/CMakeFiles/clsm_util.dir/util/comparator.cc.o" "gcc" "src/CMakeFiles/clsm_util.dir/util/comparator.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/clsm_util.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/clsm_util.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/CMakeFiles/clsm_util.dir/util/env.cc.o" "gcc" "src/CMakeFiles/clsm_util.dir/util/env.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/clsm_util.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/clsm_util.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/clsm_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/clsm_util.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/mem_env.cc" "src/CMakeFiles/clsm_util.dir/util/mem_env.cc.o" "gcc" "src/CMakeFiles/clsm_util.dir/util/mem_env.cc.o.d"
+  "/root/repo/src/util/options.cc" "src/CMakeFiles/clsm_util.dir/util/options.cc.o" "gcc" "src/CMakeFiles/clsm_util.dir/util/options.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/clsm_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/clsm_util.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

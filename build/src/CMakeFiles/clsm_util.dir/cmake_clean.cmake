@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_util.dir/util/coding.cc.o"
+  "CMakeFiles/clsm_util.dir/util/coding.cc.o.d"
+  "CMakeFiles/clsm_util.dir/util/comparator.cc.o"
+  "CMakeFiles/clsm_util.dir/util/comparator.cc.o.d"
+  "CMakeFiles/clsm_util.dir/util/crc32c.cc.o"
+  "CMakeFiles/clsm_util.dir/util/crc32c.cc.o.d"
+  "CMakeFiles/clsm_util.dir/util/env.cc.o"
+  "CMakeFiles/clsm_util.dir/util/env.cc.o.d"
+  "CMakeFiles/clsm_util.dir/util/hash.cc.o"
+  "CMakeFiles/clsm_util.dir/util/hash.cc.o.d"
+  "CMakeFiles/clsm_util.dir/util/histogram.cc.o"
+  "CMakeFiles/clsm_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/clsm_util.dir/util/mem_env.cc.o"
+  "CMakeFiles/clsm_util.dir/util/mem_env.cc.o.d"
+  "CMakeFiles/clsm_util.dir/util/options.cc.o"
+  "CMakeFiles/clsm_util.dir/util/options.cc.o.d"
+  "CMakeFiles/clsm_util.dir/util/status.cc.o"
+  "CMakeFiles/clsm_util.dir/util/status.cc.o.d"
+  "libclsm_util.a"
+  "libclsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_wal.dir/wal/async_logger.cc.o"
+  "CMakeFiles/clsm_wal.dir/wal/async_logger.cc.o.d"
+  "CMakeFiles/clsm_wal.dir/wal/log_reader.cc.o"
+  "CMakeFiles/clsm_wal.dir/wal/log_reader.cc.o.d"
+  "CMakeFiles/clsm_wal.dir/wal/log_writer.cc.o"
+  "CMakeFiles/clsm_wal.dir/wal/log_writer.cc.o.d"
+  "libclsm_wal.a"
+  "libclsm_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_workload.dir/workload/driver.cc.o"
+  "CMakeFiles/clsm_workload.dir/workload/driver.cc.o.d"
+  "CMakeFiles/clsm_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/clsm_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/clsm_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/clsm_workload.dir/workload/trace.cc.o.d"
+  "libclsm_workload.a"
+  "libclsm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

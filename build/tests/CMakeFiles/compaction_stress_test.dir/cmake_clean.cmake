@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_stress_test.dir/compaction_stress_test.cc.o"
+  "CMakeFiles/compaction_stress_test.dir/compaction_stress_test.cc.o.d"
+  "compaction_stress_test"
+  "compaction_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_bench_cli.dir/clsm_bench_cli.cc.o"
+  "CMakeFiles/clsm_bench_cli.dir/clsm_bench_cli.cc.o.d"
+  "clsm_bench_cli"
+  "clsm_bench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_bench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clsm_dump.dir/clsm_dump.cc.o"
+  "CMakeFiles/clsm_dump.dir/clsm_dump.cc.o.d"
+  "clsm_dump"
+  "clsm_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clsm_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -24,7 +24,9 @@ Status BaselineDbBase::Init() {
 
   if (!engine_.options().disable_wal) {
     std::unique_ptr<AsyncLogger> logger;
-    s = engine_.NewLog(&log_number_, &logger);
+    uint64_t log_number = 0;
+    s = engine_.NewLog(&log_number, &logger);
+    log_number_ = log_number;
     if (!s.ok()) {
       if (recovered != nullptr) {
         recovered->Unref();

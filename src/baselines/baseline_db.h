@@ -94,7 +94,9 @@ class BaselineDbBase : public DB {
   std::atomic<MemTable*> mem_{nullptr};
   std::atomic<MemTable*> imm_{nullptr};
   std::atomic<AsyncLogger*> logger_{nullptr};
-  uint64_t log_number_ = 0;
+  // Written by rollers under mutex_, read lock-free by the maintenance
+  // thread when flushing/GCing.
+  std::atomic<uint64_t> log_number_{0};
   std::unique_ptr<AsyncLogger> imm_logger_;
   std::atomic<bool> imm_exists_{false};
 

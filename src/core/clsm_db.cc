@@ -72,9 +72,17 @@ Status ClsmDb::Init() {
 
   mem_.store(new MemTable(*engine_.icmp()), std::memory_order_release);
   maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
-  if (engine_.options().dedicated_flush_thread) {
-    flush_thread_ = std::thread([this] { FlushLoop(); });
-  }
+  // Compactions run on the engine's worker pool; the maintenance thread is
+  // thereby a dedicated flush thread (§5.3's reserved-thread setup).
+  engine_.StartCompactionScheduler(
+      engine_.options().compaction_threads, [this] { return SmallestLiveSnapshot(); },
+      [this](const Status& s) {
+        std::lock_guard<std::mutex> l(maintenance_mutex_);
+        if (bg_error_.ok()) {
+          bg_error_ = s;
+        }
+        work_done_cv_.notify_all();
+      });
   return Status::OK();
 }
 
@@ -84,9 +92,9 @@ ClsmDb::~ClsmDb() {
   if (maintenance_thread_.joinable()) {
     maintenance_thread_.join();
   }
-  if (flush_thread_.joinable()) {
-    flush_thread_.join();
-  }
+  // Stop the compaction workers before any state their callbacks touch
+  // (snapshots_, time_counter_, bg_error_) is torn down.
+  engine_.StopCompactionScheduler();
 
   // Drain and close the WAL so everything enqueued is recoverable.
   AsyncLogger* logger = logger_.exchange(nullptr, std::memory_order_acq_rel);
@@ -156,15 +164,21 @@ SequenceNumber ClsmDb::AcquireScanTimestamp() {
 }
 
 Status ClsmDb::ThrottleIfNeeded() {
-  // cLSM never blocks puts in normal operation; the only wait is when Cm is
-  // full while C'm is still being merged (heavy-compaction mode, §5.3), or
-  // when level 0 has grown past the stop trigger.
+  // cLSM never blocks puts in normal operation; the waits here are (a) Cm
+  // full while C'm is still being merged (heavy-compaction mode, §5.3),
+  // (b) level 0 past the stop trigger — hard stall until compaction drains
+  // it, and (c) level 0 past the slowdown trigger — a single bounded delay
+  // per put, trading a little latency for not hitting (b) at all (the
+  // gradual-backpressure policy of Luo & Carey's stability analysis).
+  bool slowed_down = false;
   while (!shutting_down_.load(std::memory_order_acquire)) {
     MemTable* m = mem_.load(std::memory_order_acquire);
     const bool mem_full = m->ApproximateMemoryUsage() >= engine_.options().write_buffer_size;
-    const bool l0_stuffed = engine_.NumLevelFiles(0) >= engine_.options().l0_stop_trigger;
+    const int l0_files = engine_.NumLevelFiles(0);
+    const bool l0_stuffed = l0_files >= engine_.options().l0_stop_trigger;
     if ((mem_full && imm_exists_.load(std::memory_order_acquire)) || l0_stuffed) {
       stats_.Bump(stats_.throttle_waits);
+      const auto t0 = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> l(maintenance_mutex_);
       if (!bg_error_.ok()) {
         // Maintenance cannot drain the pipeline; waiting would stall
@@ -173,8 +187,28 @@ Status ClsmDb::ThrottleIfNeeded() {
         return bg_error_;
       }
       maintenance_cv_.notify_one();
+      engine_.SignalCompaction();
       work_done_cv_.wait_for(l, std::chrono::milliseconds(1));
+      l.unlock();
+      stats_.Add(stats_.stall_micros,
+                 std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
       continue;
+    }
+    if (!slowed_down && l0_files >= engine_.options().l0_slowdown_trigger) {
+      // Bounded slowdown: delay this put once by ~1ms so compaction gains
+      // on the writers before the stop trigger is reached.
+      slowed_down = true;
+      stats_.Bump(stats_.slowdown_waits);
+      engine_.SignalCompaction();
+      const auto t0 = std::chrono::steady_clock::now();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      stats_.Add(stats_.slowdown_micros,
+                 std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+      continue;  // re-check: L0 may have crossed the stop trigger meanwhile
     }
     if (mem_full) {
       // Ask the maintenance thread to roll; no need to wait.
@@ -540,62 +574,16 @@ void ClsmDb::FlushImmutable() {
   imm->Unref();
 
   engine_.RemoveObsoleteFiles(log_number_);
+  // The new level-0 file may have made a compaction pickable.
+  engine_.SignalCompaction();
 }
 
 void ClsmDb::MaintenanceLoop() {
-  const bool handles_flushes = !engine_.options().dedicated_flush_thread;
-  while (true) {
-    bool need_roll = false;
-    bool need_flush = false;
-    bool need_compact = false;
-    {
-      std::unique_lock<std::mutex> l(maintenance_mutex_);
-      while (!shutting_down_.load(std::memory_order_acquire)) {
-        if (handles_flushes) {
-          MemTable* mem = mem_.load(std::memory_order_acquire);
-          need_flush = imm_exists_.load(std::memory_order_acquire);
-          need_roll = !need_flush && mem != nullptr &&
-                      mem->ApproximateMemoryUsage() >= engine_.options().write_buffer_size;
-        }
-        need_compact = engine_.NeedsCompaction();
-        if (need_roll || need_flush || need_compact) {
-          break;
-        }
-        maintenance_cv_.wait_for(l, std::chrono::milliseconds(2));
-      }
-    }
-    if (shutting_down_.load(std::memory_order_acquire)) {
-      // Final drain: flush nothing (WAL provides durability), just exit.
-      return;
-    }
-
-    if (handles_flushes) {
-      if (need_roll) {
-        RollMemTable();
-      }
-      if (imm_exists_.load(std::memory_order_acquire)) {
-        FlushImmutable();
-      }
-    }
-    if (engine_.NeedsCompaction()) {
-      stats_.Bump(stats_.compactions);
-      bool did_work = false;
-      Status s = engine_.CompactOnce(SmallestLiveSnapshot(), &did_work);
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> l(maintenance_mutex_);
-        if (bg_error_.ok()) {
-          bg_error_ = s;
-        }
-      }
-    }
-    work_done_cv_.notify_all();
-  }
-}
-
-void ClsmDb::FlushLoop() {
-  // Dedicated flush thread (§5.3's reserved-thread configuration): rolls
-  // and flushes never queue behind long compactions. Version-set mutation
-  // stays serialized because LogAndApply itself is internally locked.
+  // Rolls and flushes only — this thread is §5.3's reserved flush thread.
+  // Compactions are picked and dispatched by the engine's worker pool
+  // (StartCompactionScheduler), so a long merge never delays the
+  // Cm -> C'm roll. Version-set mutation stays serialized because
+  // LogAndApply itself is internally locked.
   while (true) {
     bool need_roll = false;
     bool need_flush = false;
@@ -613,6 +601,7 @@ void ClsmDb::FlushLoop() {
       }
     }
     if (shutting_down_.load(std::memory_order_acquire)) {
+      // Final drain: flush nothing (WAL provides durability), just exit.
       return;
     }
     if (need_roll) {
@@ -627,10 +616,14 @@ void ClsmDb::FlushLoop() {
 
 void ClsmDb::WaitForMaintenance() {
   while (true) {
-    MemTable* mem = mem_.load(std::memory_order_acquire);
-    bool busy = imm_exists_.load(std::memory_order_acquire) || engine_.NeedsCompaction() ||
-                (mem != nullptr &&
-                 mem->ApproximateMemoryUsage() >= engine_.options().write_buffer_size);
+    bool busy = imm_exists_.load(std::memory_order_acquire) || !engine_.CompactionsIdle();
+    if (!busy) {
+      // Pin the memtable while probing its size: the maintenance thread
+      // frees rolled memtables only after an epoch Synchronize.
+      EpochGuard guard(*engine_.epochs());
+      MemTable* mem = mem_.load(std::memory_order_acquire);
+      busy = mem != nullptr && mem->ApproximateMemoryUsage() >= engine_.options().write_buffer_size;
+    }
     if (!busy) {
       return;
     }
@@ -639,6 +632,7 @@ void ClsmDb::WaitForMaintenance() {
       return;  // maintenance is wedged; nothing further to wait for
     }
     maintenance_cv_.notify_one();
+    engine_.SignalCompaction();
     work_done_cv_.wait_for(l, std::chrono::milliseconds(1));
   }
 }
@@ -655,7 +649,20 @@ std::string ClsmDb::GetProperty(const Slice& property) {
     return std::to_string(time_counter_.Get());
   }
   if (property == Slice("clsm.stats")) {
-    return stats_.ToString();
+    // Compactions are counted by the engine's scheduler; mirror the total
+    // into the legacy counter so the "maintenance:" line stays truthful.
+    stats_.compactions.store(engine_.compaction_stats()->TotalCompactions(),
+                             std::memory_order_relaxed);
+    return stats_.ToString() + engine_.compaction_stats()->ToString();
+  }
+  if (property == Slice("clsm.stall-micros")) {
+    return std::to_string(stats_.TotalStallMicros());
+  }
+  if (property == Slice("clsm.compaction-overlaps")) {
+    return std::to_string(engine_.versions()->InFlightOverlapViolations());
+  }
+  if (property == Slice("clsm.compactions-inflight")) {
+    return std::to_string(engine_.versions()->NumInFlightCompactions());
   }
   return std::string();
 }

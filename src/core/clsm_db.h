@@ -81,17 +81,22 @@ class ClsmDb final : public DB {
   bool GetLatest(const Slice& key, std::string* value, ValueType* type, SequenceNumber* seq);
 
   // Backpressure: wait while Cm is full but C'm has not finished merging
-  // (the only situation in which cLSM delays puts, §5.3). Returns the
-  // latched background error, if any, so writers fail fast instead of
-  // stalling behind a maintenance pipeline that cannot make progress.
+  // (heavy-compaction mode, §5.3), or while level 0 is past the stop
+  // trigger; additionally delays a put by one bounded sleep when level 0 is
+  // past the slowdown trigger, so L0 growth degrades writers gradually
+  // instead of cliff-stalling them. All waiting time is recorded in Stats.
+  // Returns the latched background error, if any, so writers fail fast
+  // instead of stalling behind a maintenance pipeline that cannot make
+  // progress.
   Status ThrottleIfNeeded();
 
-  // Maintenance thread: rolls memtables (beforeMerge), flushes (merge),
-  // swaps pointers (afterMerge) and runs compactions. With
-  // Options::dedicated_flush_thread, rolls+flushes run on their own thread
-  // and this loop only compacts (§5.3's reserved-flush-thread setup).
+  // Maintenance thread: rolls memtables (beforeMerge), flushes (merge) and
+  // swaps pointers (afterMerge). Compactions run on the storage engine's
+  // worker pool (Options::compaction_threads workers picking disjoint
+  // jobs), so rolls and flushes never queue behind long merges — the
+  // reserved-flush-thread configuration of §5.3 is always in effect and
+  // Options::dedicated_flush_thread is subsumed.
   void MaintenanceLoop();
-  void FlushLoop();
   void RollMemTable();   // beforeMerge
   void FlushImmutable(); // merge + afterMerge
   SequenceNumber SmallestLiveSnapshot();
@@ -125,7 +130,6 @@ class ClsmDb final : public DB {
   std::atomic<bool> imm_exists_{false};  // fast-path view of imm_ != null
   Status bg_error_;
   std::thread maintenance_thread_;
-  std::thread flush_thread_;  // only with Options::dedicated_flush_thread
 
   DbStats stats_;
 };

@@ -4,15 +4,40 @@
 
 namespace clsm {
 
+std::string CompactionStats::ToString() const {
+  std::string out;
+  char buf[256];
+  for (int l = 0; l < kMaxLevels; l++) {
+    const LevelStats& ls = levels_[l];
+    const uint64_t n = ls.compactions.load(std::memory_order_relaxed);
+    if (n == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "compact L%d: count=%llu moves=%llu read=%llu written=%llu micros=%llu\n", l,
+                  static_cast<unsigned long long>(n),
+                  static_cast<unsigned long long>(ls.trivial_moves.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(ls.bytes_read.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(ls.bytes_written.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(ls.micros.load(std::memory_order_relaxed)));
+    out.append(buf);
+  }
+  if (out.empty()) {
+    out = "compact: none\n";
+  }
+  return out;
+}
+
 std::string DbStats::ToString() const {
-  char buf[1024];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "gets: total=%llu mem=%llu imm=%llu disk=%llu\n"
       "writes: puts=%llu deletes=%llu batches=%llu\n"
       "rmw: total=%llu conflicts=%llu noop=%llu\n"
       "snapshots: acquired=%llu iterators=%llu getts_rollbacks=%llu\n"
-      "maintenance: rolls=%llu flushes=%llu compactions=%llu throttle_waits=%llu\n",
+      "maintenance: rolls=%llu flushes=%llu compactions=%llu throttle_waits=%llu\n"
+      "stalls: slowdown_waits=%llu slowdown_micros=%llu stall_micros=%llu\n",
       static_cast<unsigned long long>(gets_total.load()),
       static_cast<unsigned long long>(gets_from_mem.load()),
       static_cast<unsigned long long>(gets_from_imm.load()),
@@ -29,7 +54,10 @@ std::string DbStats::ToString() const {
       static_cast<unsigned long long>(memtable_rolls.load()),
       static_cast<unsigned long long>(flushes.load()),
       static_cast<unsigned long long>(compactions.load()),
-      static_cast<unsigned long long>(throttle_waits.load()));
+      static_cast<unsigned long long>(throttle_waits.load()),
+      static_cast<unsigned long long>(slowdown_waits.load()),
+      static_cast<unsigned long long>(slowdown_micros.load()),
+      static_cast<unsigned long long>(stall_micros.load()));
   return buf;
 }
 

@@ -10,6 +10,39 @@
 
 namespace clsm {
 
+// Per-level compaction accounting kept by the storage engine's compaction
+// scheduler. Sized for the deepest supported tree (kNumLevels <= kMaxLevels
+// is static_asserted where the two meet).
+class CompactionStats {
+ public:
+  static constexpr int kMaxLevels = 8;
+
+  struct LevelStats {
+    std::atomic<uint64_t> compactions{0};    // jobs whose inputs start here
+    std::atomic<uint64_t> trivial_moves{0};  // of which: pure file moves
+    std::atomic<uint64_t> bytes_read{0};     // input bytes (both levels)
+    std::atomic<uint64_t> bytes_written{0};  // output bytes
+    std::atomic<uint64_t> micros{0};         // wall time spent compacting
+  };
+
+  LevelStats& level(int l) { return levels_[l]; }
+  const LevelStats& level(int l) const { return levels_[l]; }
+
+  uint64_t TotalCompactions() const {
+    uint64_t n = 0;
+    for (const LevelStats& ls : levels_) {
+      n += ls.compactions.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  // Multi-line per-level dump (levels with no activity are omitted).
+  std::string ToString() const;
+
+ private:
+  LevelStats levels_[kMaxLevels];
+};
+
 class DbStats {
  public:
   // --- read path ---
@@ -37,10 +70,23 @@ class DbStats {
   std::atomic<uint64_t> memtable_rolls{0};
   std::atomic<uint64_t> flushes{0};
   std::atomic<uint64_t> compactions{0};
-  std::atomic<uint64_t> throttle_waits{0};  // put delayed by backpressure
+  std::atomic<uint64_t> throttle_waits{0};  // put stalled by backpressure
+
+  // --- write stalls (L0 backpressure in the put path) ---
+  std::atomic<uint64_t> slowdown_waits{0};   // bounded 1ms slowdown sleeps
+  std::atomic<uint64_t> slowdown_micros{0};  // time spent in slowdown sleeps
+  std::atomic<uint64_t> stall_micros{0};     // time spent in hard stop waits
+
+  uint64_t TotalStallMicros() const {
+    return slowdown_micros.load(std::memory_order_relaxed) +
+           stall_micros.load(std::memory_order_relaxed);
+  }
 
   void Bump(std::atomic<uint64_t>& counter) {
     counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  void Add(std::atomic<uint64_t>& counter, uint64_t delta) {
+    counter.fetch_add(delta, std::memory_order_relaxed);
   }
 
   // Multi-line human-readable dump.

@@ -1,6 +1,7 @@
 #include "src/lsm/storage_engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/lsm/filename.h"
 #include "src/table/table_builder.h"
@@ -8,6 +9,9 @@
 #include "src/wal/log_reader.h"
 
 namespace clsm {
+
+static_assert(kNumLevels <= CompactionStats::kMaxLevels,
+              "CompactionStats cannot hold per-level counters for every level");
 
 void EncodeWalRecord(std::string* dst, SequenceNumber seq, ValueType type, const Slice& key,
                      const Slice& value) {
@@ -58,7 +62,74 @@ StorageEngine::StorageEngine(const Options& options, const std::string& dbname)
                                            &epochs_);
 }
 
-StorageEngine::~StorageEngine() = default;
+StorageEngine::~StorageEngine() { StopCompactionScheduler(); }
+
+void StorageEngine::StartCompactionScheduler(int num_threads,
+                                             std::function<SequenceNumber()> smallest_snapshot,
+                                             std::function<void(const Status&)> on_error) {
+  assert(compaction_workers_.empty());
+  sched_smallest_snapshot_ = std::move(smallest_snapshot);
+  sched_on_error_ = std::move(on_error);
+  sched_shutdown_.store(false, std::memory_order_release);
+  const int n = std::max(1, num_threads);
+  compaction_workers_.reserve(n);
+  for (int i = 0; i < n; i++) {
+    compaction_workers_.emplace_back([this] { CompactionWorkerLoop(); });
+  }
+}
+
+void StorageEngine::StopCompactionScheduler() {
+  sched_shutdown_.store(true, std::memory_order_release);
+  sched_cv_.notify_all();
+  for (std::thread& w : compaction_workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  compaction_workers_.clear();
+}
+
+void StorageEngine::SignalCompaction() { sched_cv_.notify_all(); }
+
+void StorageEngine::CompactionWorkerLoop() {
+  int idle_rounds = 0;
+  while (!sched_shutdown_.load(std::memory_order_acquire)) {
+    // Picking marks the job's levels in-flight, so concurrent workers
+    // always obtain disjoint file sets (or nullptr).
+    std::unique_ptr<Compaction> c(versions_->PickCompaction());
+    if (c == nullptr) {
+      std::unique_lock<std::mutex> l(sched_mutex_);
+      if (sched_shutdown_.load(std::memory_order_acquire)) {
+        return;
+      }
+      // Re-check under the lock is pointless (picking is independently
+      // locked); the timed wait doubles as a poll for work that became
+      // pickable without a signal. Back off while idle so surplus workers
+      // don't burn cycles re-picking nothing — flushes and stalled writers
+      // signal immediately when work appears.
+      idle_rounds = std::min(idle_rounds + 1, 10);
+      sched_cv_.wait_for(l, std::chrono::milliseconds(2 * idle_rounds));
+      continue;
+    }
+    idle_rounds = 0;
+    const SequenceNumber smallest_snapshot =
+        sched_smallest_snapshot_ ? sched_smallest_snapshot_() : kMaxSequenceNumber;
+    Status s = RunCompaction(c.get(), smallest_snapshot);
+    c.reset();  // releases the in-flight levels (after the edit install)
+    if (!s.ok()) {
+      if (sched_on_error_) {
+        sched_on_error_(s);
+      }
+      // Back off instead of hot-looping on a persistent failure (the level
+      // stays pickable because its score never dropped).
+      std::unique_lock<std::mutex> l(sched_mutex_);
+      sched_cv_.wait_for(l, std::chrono::milliseconds(10));
+      continue;
+    }
+    // The result may have made a deeper level pickable for an idle peer.
+    sched_cv_.notify_one();
+  }
+}
 
 Status StorageEngine::NewDB() {
   VersionEdit new_db;
@@ -314,18 +385,41 @@ Status StorageEngine::CompactOnce(SequenceNumber smallest_snapshot, bool* did_wo
     return Status::OK();
   }
   *did_work = true;
+  return RunCompaction(c.get(), smallest_snapshot);
+}
 
+Status StorageEngine::RunCompaction(Compaction* c, SequenceNumber smallest_snapshot) {
+  CompactionStats::LevelStats& stats = compaction_stats_.level(c->level());
+  const auto t0 = std::chrono::steady_clock::now();
+  stats.compactions.fetch_add(1, std::memory_order_relaxed);
+
+  Status s;
   if (c->IsTrivialMove()) {
-    // Move the file down one level without rewriting it.
+    // Move the file down one level without rewriting it (no IO: the move
+    // contributes to the job count but not to bytes read/written).
     FileMetaData* f = c->input(0, 0);
     c->edit()->RemoveFile(c->level(), f->number);
     c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest, f->largest);
-    return versions_->LogAndApply(c->edit());
+    stats.trivial_moves.fetch_add(1, std::memory_order_relaxed);
+    s = versions_->LogAndApply(c->edit());
+  } else {
+    uint64_t bytes_written = 0;
+    stats.bytes_read.fetch_add(static_cast<uint64_t>(c->TotalInputBytes()),
+                               std::memory_order_relaxed);
+    s = DoCompactionWork(c, smallest_snapshot, &bytes_written);
+    stats.bytes_written.fetch_add(bytes_written, std::memory_order_relaxed);
   }
-  return DoCompactionWork(c.get(), smallest_snapshot);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.micros.fetch_add(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count(),
+      std::memory_order_relaxed);
+  return s;
 }
 
-Status StorageEngine::DoCompactionWork(Compaction* c, SequenceNumber smallest_snapshot) {
+Status StorageEngine::DoCompactionWork(Compaction* c, SequenceNumber smallest_snapshot,
+                                       uint64_t* bytes_written) {
+  *bytes_written = 0;
   // kMaxSequenceNumber doubles as the "newest entry seen so far" sentinel in
   // the drop rule below; a caller passing it as "no snapshots" must not make
   // the sentinel itself satisfy last_sequence_for_key <= smallest_snapshot.
@@ -442,6 +536,7 @@ Status StorageEngine::DoCompactionWork(Compaction* c, SequenceNumber smallest_sn
     c->AddInputDeletions(c->edit());
     for (const FileMetaData& out : outputs) {
       c->edit()->AddFile(c->level() + 1, out.number, out.file_size, out.smallest, out.largest);
+      *bytes_written += out.file_size;
     }
     s = versions_->LogAndApply(c->edit());
   }

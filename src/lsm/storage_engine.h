@@ -1,19 +1,29 @@
 // StorageEngine: the disk component and merge machinery shared by cLSM and
 // every baseline DB variant. It owns the version set, table/block caches,
-// WAL files and compaction logic; the DB variants on top differ only in
-// their in-memory concurrency control — exactly the variable the paper's
-// evaluation isolates (§5: all systems inherit the same disk-side modules).
+// WAL files, compaction logic and the background compaction scheduler; the
+// DB variants on top differ only in their in-memory concurrency control —
+// exactly the variable the paper's evaluation isolates (§5: all systems
+// inherit the same disk-side modules).
 //
 // Thread contract: Get/AddVersionIterators are safe from any thread and
-// never block (epoch-protected version access). FlushMemTable/CompactOnce/
-// LogAndApply must be called from a single maintenance thread.
+// never block (epoch-protected version access). FlushMemTable/LogAndApply
+// must be called from a single flush/maintenance thread. Compactions run
+// either synchronously through CompactOnce (single maintenance thread) or
+// on the engine's own worker pool (StartCompactionScheduler) — the two
+// modes must not be mixed.
 #ifndef CLSM_LSM_STORAGE_ENGINE_H_
 #define CLSM_LSM_STORAGE_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/core/stats.h"
 #include "src/lsm/dbformat.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/version_set.h"
@@ -75,10 +85,39 @@ class StorageEngine {
   // Runs at most one compaction step. did_work reports whether anything ran.
   // smallest_snapshot: versions at or below this sequence that are shadowed
   // by newer ones can be discarded (paper §3.2.1's obsolete-version GC).
+  // Single-maintenance-thread mode only (do not mix with the scheduler).
   Status CompactOnce(SequenceNumber smallest_snapshot, bool* did_work);
+
+  // --- Parallel compaction scheduler (paper §5.3's multi-threaded
+  // background compaction configuration) ---
+
+  // Starts num_threads workers that repeatedly pick disjoint compactions
+  // (VersionSet::PickCompaction excludes in-flight levels/files) and run
+  // them concurrently; LogAndApply serializes the installs. smallest_snapshot
+  // is polled per job for the obsolete-version GC bound; on_error (may be
+  // null) latches background failures. Idempotent per engine lifetime.
+  void StartCompactionScheduler(int num_threads,
+                                std::function<SequenceNumber()> smallest_snapshot,
+                                std::function<void(const Status&)> on_error);
+
+  // Stops and joins the workers; in-flight jobs finish first. Safe to call
+  // multiple times (the destructor also calls it).
+  void StopCompactionScheduler();
+
+  // Wakes the workers (e.g. after a flush created new level-0 files).
+  void SignalCompaction();
+
+  // True when no compaction is running and none is needed. Advisory (racy);
+  // used by WaitForMaintenance-style polling.
+  bool CompactionsIdle() const {
+    return versions_->NumInFlightCompactions() == 0 && !NeedsCompaction();
+  }
 
   bool NeedsCompaction() const { return versions_->NeedsCompaction(); }
   int NumLevelFiles(int level) const { return versions_->NumLevelFiles(level); }
+
+  // Per-level compaction accounting (bytes read/written, job counts, time).
+  CompactionStats* compaction_stats() { return &compaction_stats_; }
 
   // Creates a fresh WAL (<number>.log) with an asynchronous group logger.
   Status NewLog(uint64_t* log_number, std::unique_ptr<AsyncLogger>* logger);
@@ -102,7 +141,12 @@ class StorageEngine {
   Status NewDB();
   Status RecoverLogFile(uint64_t log_number, MemTable* mem, SequenceNumber* max_seq);
   Status BuildTable(Iterator* iter, FileMetaData* meta);
-  Status DoCompactionWork(Compaction* c, SequenceNumber smallest_snapshot);
+  // Runs one already-picked compaction (trivial move or full merge) and
+  // records its per-level stats. Used by both CompactOnce and the workers.
+  Status RunCompaction(Compaction* c, SequenceNumber smallest_snapshot);
+  Status DoCompactionWork(Compaction* c, SequenceNumber smallest_snapshot,
+                          uint64_t* bytes_written);
+  void CompactionWorkerLoop();
 
   Options options_;
   const std::string dbname_;
@@ -114,6 +158,15 @@ class StorageEngine {
   std::unique_ptr<TableCache> table_cache_;
   EpochManager epochs_;
   std::unique_ptr<VersionSet> versions_;
+
+  // Compaction scheduler state.
+  CompactionStats compaction_stats_;
+  std::mutex sched_mutex_;
+  std::condition_variable sched_cv_;
+  std::atomic<bool> sched_shutdown_{false};
+  std::function<SequenceNumber()> sched_smallest_snapshot_;
+  std::function<void(const Status&)> sched_on_error_;
+  std::vector<std::thread> compaction_workers_;
 };
 
 }  // namespace clsm

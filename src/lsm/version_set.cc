@@ -338,10 +338,14 @@ class VersionSet::Builder {
 
   // Apply all of the edits in *edit to the accumulated state.
   void Apply(const VersionEdit* edit) {
-    // Update compaction pointers.
-    for (size_t i = 0; i < edit->compact_pointers_.size(); i++) {
-      const int level = edit->compact_pointers_[i].first;
-      vset_->compact_pointer_[level] = edit->compact_pointers_[i].second.Encode().ToString();
+    // Update compaction pointers (under pick_mutex_: concurrent compaction
+    // workers read these while picking).
+    if (!edit->compact_pointers_.empty()) {
+      std::lock_guard<std::mutex> pick_lock(vset_->pick_mutex_);
+      for (size_t i = 0; i < edit->compact_pointers_.size(); i++) {
+        const int level = edit->compact_pointers_[i].first;
+        vset_->compact_pointer_[level] = edit->compact_pointers_[i].second.Encode().ToString();
+      }
     }
 
     // Apply deletions.
@@ -493,9 +497,9 @@ int64_t VersionSet::NumLevelBytes(int level) const {
 Status VersionSet::LogAndApply(VersionEdit* edit) {
   std::lock_guard<std::mutex> apply_lock(apply_mutex_);
   if (edit->has_log_number_) {
-    assert(edit->log_number_ >= log_number_);
+    assert(edit->log_number_ >= log_number_.load(std::memory_order_relaxed));
   } else {
-    edit->SetLogNumber(log_number_);
+    edit->SetLogNumber(log_number_.load(std::memory_order_relaxed));
   }
   edit->SetNextFile(next_file_number_.load(std::memory_order_relaxed));
   edit->SetLastSequence(last_sequence_.load(std::memory_order_relaxed));
@@ -541,7 +545,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
 
   // Install the new version.
   if (s.ok()) {
-    log_number_ = edit->log_number_;
+    log_number_.store(edit->log_number_, std::memory_order_release);
     InstallVersion(v);
   } else {
     v->Ref();
@@ -659,7 +663,7 @@ Status VersionSet::Recover() {
     manifest_file_number_ = next_file;
     next_file_number_.store(next_file + 1, std::memory_order_relaxed);
     last_sequence_.store(last_sequence, std::memory_order_relaxed);
-    log_number_ = log_number;
+    log_number_.store(log_number, std::memory_order_release);
   }
 
   return s;
@@ -681,6 +685,7 @@ void VersionSet::Finalize(Version* v) {
       const uint64_t level_bytes = TotalFileSize(v->files_[level]);
       score = static_cast<double>(level_bytes) / MaxBytesForLevel(*options_, level);
     }
+    v->level_scores_[level] = score;
 
     if (score > best_score) {
       best_level = level;
@@ -698,11 +703,14 @@ Status VersionSet::WriteSnapshot(log::Writer* log) {
   edit.SetComparatorName(icmp_.user_comparator()->Name());
 
   // Save compaction pointers.
-  for (int level = 0; level < kNumLevels; level++) {
-    if (!compact_pointer_[level].empty()) {
-      InternalKey key;
-      key.DecodeFrom(compact_pointer_[level]);
-      edit.SetCompactPointer(level, key);
+  {
+    std::lock_guard<std::mutex> pick_lock(pick_mutex_);
+    for (int level = 0; level < kNumLevels; level++) {
+      if (!compact_pointer_[level].empty()) {
+        InternalKey key;
+        key.DecodeFrom(compact_pointer_[level]);
+        edit.SetCompactPointer(level, key);
+      }
     }
   }
 
@@ -720,12 +728,15 @@ Status VersionSet::WriteSnapshot(log::Writer* log) {
 }
 
 void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
-  Version* v = current_unlocked();
+  // Compaction workers install versions concurrently, so pin the current
+  // version (epoch-protected ref) instead of reading it raw.
+  Version* v = GetCurrent();
   for (int level = 0; level < kNumLevels; level++) {
     for (const auto& f : v->files_[level]) {
       live->insert(f->number);
     }
   }
+  v->Unref();
 }
 
 std::string VersionSet::LevelSummary() const {
@@ -807,15 +818,29 @@ void VersionSet::GetOverlappingInputs(Version* v, int level, const InternalKey* 
 }
 
 Compaction* VersionSet::PickCompaction() {
-  // Pin the version first (epoch-protected): the flush thread may install a
-  // new version concurrently.
+  std::lock_guard<std::mutex> pick_lock(pick_mutex_);
+  // Pin the version first (epoch-protected): the flush thread or another
+  // compaction worker may install a new version concurrently. Files seen in
+  // this version at a non-busy level cannot disappear before we register:
+  // only a compaction owning that level removes them, and completed jobs
+  // release their levels (under pick_mutex_) strictly after installing
+  // their edit.
   Version* v = GetCurrent();
-  if (v->compaction_score_ < 1) {
+  // Best-scoring level whose job would be disjoint from every in-flight
+  // one. A job at level L reads L and L+1, so both must be free.
+  int level = -1;
+  double best_score = 0;
+  for (int l = 0; l < kNumLevels - 1; l++) {
+    if (v->level_scores_[l] >= 1 && !level_busy_[l] && !level_busy_[l + 1] &&
+        v->level_scores_[l] > best_score) {
+      level = l;
+      best_score = v->level_scores_[l];
+    }
+  }
+  if (level < 0 || v->files_[level].empty()) {
     v->Unref();
     return nullptr;
   }
-  const int level = v->compaction_level_;
-  assert(level >= 0);
   assert(level + 1 < kNumLevels);
   Compaction* c = new Compaction(options_, level, MaxFileSizeForLevel(level + 1));
 
@@ -847,8 +872,34 @@ Compaction* VersionSet::PickCompaction() {
   }
 
   SetupOtherInputs(c);
+  RegisterInFlight(c);
 
   return c;
+}
+
+void VersionSet::RegisterInFlight(Compaction* c) {
+  // pick_mutex_ held by PickCompaction.
+  c->vset_ = this;
+  level_busy_[c->level()] = true;
+  level_busy_[c->level() + 1] = true;
+  for (uint64_t number : c->InputFileNumbers()) {
+    if (!inflight_files_.insert(number).second) {
+      // Two in-flight jobs would read the same file — must be impossible.
+      inflight_overlaps_.fetch_add(1, std::memory_order_relaxed);
+      assert(false && "compaction input file already owned by another job");
+    }
+  }
+  inflight_compactions_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void VersionSet::UnregisterInFlight(Compaction* c) {
+  std::lock_guard<std::mutex> pick_lock(pick_mutex_);
+  level_busy_[c->level()] = false;
+  level_busy_[c->level() + 1] = false;
+  for (uint64_t number : c->InputFileNumbers()) {
+    inflight_files_.erase(number);
+  }
+  inflight_compactions_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void VersionSet::SetupOtherInputs(Compaction* c) {
@@ -863,8 +914,9 @@ void VersionSet::SetupOtherInputs(Compaction* c) {
   GetRange2(c->inputs_[0], c->inputs_[1], &all_start, &all_limit);
 
   // Update the place where we will do the next compaction for this level
-  // right away rather than waiting for the VersionEdit to be applied: one
-  // in-flight compaction per level at a time keeps this safe.
+  // right away rather than waiting for the VersionEdit to be applied: the
+  // caller holds pick_mutex_ and at most one compaction per level is in
+  // flight, so no other picker can observe a torn value.
   compact_pointer_[level] = largest.Encode().ToString();
   c->edit_.SetCompactPointer(level, largest);
 }
@@ -900,9 +952,36 @@ Compaction::Compaction(const Options* options, int level, uint64_t max_output_fi
 }
 
 Compaction::~Compaction() {
+  // Release level ownership only now — strictly after the job's edit (if
+  // any) was installed by LogAndApply, so a new pick at these levels always
+  // sees a version reflecting the result.
+  if (vset_ != nullptr) {
+    vset_->UnregisterInFlight(this);
+  }
   if (input_version_ != nullptr) {
     input_version_->Unref();
   }
+}
+
+int64_t Compaction::TotalInputBytes() const {
+  int64_t total = 0;
+  for (int which = 0; which < 2; which++) {
+    for (const auto& f : inputs_[which]) {
+      total += f->file_size;
+    }
+  }
+  return total;
+}
+
+std::vector<uint64_t> Compaction::InputFileNumbers() const {
+  std::vector<uint64_t> numbers;
+  numbers.reserve(inputs_[0].size() + inputs_[1].size());
+  for (int which = 0; which < 2; which++) {
+    for (const auto& f : inputs_[which]) {
+      numbers.push_back(f->number);
+    }
+  }
+  return numbers;
 }
 
 bool Compaction::IsTrivialMove() const {

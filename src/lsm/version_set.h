@@ -2,8 +2,13 @@
 // background merges (paper §2.3). A Version is an immutable snapshot of the
 // file set; the current Version pointer is the Pd of Figure 2b. Readers
 // obtain it without blocking via the same epoch-protected refcount scheme
-// used for memory components (§3.1); only the single background merge
-// thread mutates the set.
+// used for memory components (§3.1).
+//
+// Mutation is multi-threaded: a pool of compaction workers plus the flush
+// thread all apply edits. PickCompaction hands out jobs on disjoint work —
+// a job owns its input level L and output level L+1 until it is destroyed,
+// and levels owned by an in-flight job are excluded from picking — while
+// LogAndApply serializes the actual version installs.
 #ifndef CLSM_LSM_VERSION_SET_H_
 #define CLSM_LSM_VERSION_SET_H_
 
@@ -76,6 +81,9 @@ class Version : public RefCounted {
   // compaction is needed). Filled by VersionSet::Finalize().
   double compaction_score_;
   int compaction_level_;
+  // Score of every level (same formula), so the picker can fall through to
+  // the next-best level when the best one is already being compacted.
+  double level_scores_[kNumLevels] = {0};
 };
 
 class VersionSet {
@@ -90,8 +98,8 @@ class VersionSet {
 
   // Apply *edit to the current version and install the result as the new
   // current version, persisting the edit to the manifest. Thread-safe:
-  // internally serialized (the flush and compaction threads may both apply
-  // edits when Options::dedicated_flush_thread is on).
+  // internally serialized (the flush thread and every compaction worker
+  // apply edits concurrently).
   Status LogAndApply(VersionEdit* edit);
 
   // Recover the last saved descriptor from persistent storage.
@@ -112,11 +120,26 @@ class VersionSet {
   SequenceNumber LastSequence() const { return last_sequence_.load(std::memory_order_acquire); }
   void SetLastSequence(SequenceNumber s) { last_sequence_.store(s, std::memory_order_release); }
 
-  uint64_t LogNumber() const { return log_number_; }
+  uint64_t LogNumber() const { return log_number_.load(std::memory_order_acquire); }
 
-  // Pick inputs for a new compaction; nullptr if none needed. Caller owns
-  // the returned object (which pins the input version and files).
+  // Pick inputs for a new compaction; nullptr if none needed OR if every
+  // level needing compaction is already owned by an in-flight job. Caller
+  // owns the returned object (which pins the input version and files); the
+  // job's levels stay excluded from picking until the object is destroyed,
+  // so concurrent compactions never share an input file. Thread-safe.
   Compaction* PickCompaction();
+
+  // Number of picked-but-not-yet-released compactions.
+  int NumInFlightCompactions() const {
+    return inflight_compactions_.load(std::memory_order_acquire);
+  }
+
+  // Times a newly picked job's input set intersected an in-flight job's —
+  // a violation of the disjointness invariant. Always 0 by construction;
+  // exported so stress tests can assert it.
+  uint64_t InFlightOverlapViolations() const {
+    return inflight_overlaps_.load(std::memory_order_relaxed);
+  }
 
   // Iterator reading the entries of a compaction's inputs in merged order.
   Iterator* MakeInputIterator(Compaction* c);
@@ -161,6 +184,11 @@ class VersionSet {
                             const InternalKey* end, std::vector<FileRef>* inputs);
   void SetupOtherInputs(Compaction* c);
 
+  // Registers c's levels/files as in-flight (pick_mutex_ held) /
+  // releases them (called from ~Compaction).
+  void RegisterInFlight(Compaction* c);
+  void UnregisterInFlight(Compaction* c);
+
   Env* const env_;
   const std::string dbname_;
   const Options* const options_;
@@ -171,7 +199,9 @@ class VersionSet {
   std::atomic<uint64_t> next_file_number_;
   uint64_t manifest_file_number_;
   std::atomic<SequenceNumber> last_sequence_;
-  uint64_t log_number_;
+  // Written under apply_mutex_ (LogAndApply) but read lock-free by the
+  // maintenance thread (RemoveObsoleteFiles, log rotation bookkeeping).
+  std::atomic<uint64_t> log_number_;
 
   // Opened lazily.
   std::unique_ptr<WritableFile> descriptor_file_;
@@ -183,7 +213,21 @@ class VersionSet {
   // flush and compaction threads.
   std::mutex apply_mutex_;
 
+  // Guards compaction picking: level_busy_, inflight_files_ and the
+  // compact pointers. Never held across IO. Ordering: may be taken while
+  // apply_mutex_ is held (Builder::Apply), never the other way around.
+  mutable std::mutex pick_mutex_;
+  // Levels owned by an in-flight compaction (a job at level L owns L and
+  // L+1). Guarded by pick_mutex_.
+  bool level_busy_[kNumLevels] = {false};
+  // File numbers read by in-flight compactions (invariant checking).
+  // Guarded by pick_mutex_.
+  std::set<uint64_t> inflight_files_;
+  std::atomic<int> inflight_compactions_{0};
+  std::atomic<uint64_t> inflight_overlaps_{0};
+
   // Per-level key at which the next size-compaction should start.
+  // Guarded by pick_mutex_.
   std::string compact_pointer_[kNumLevels];
 };
 
@@ -203,6 +247,12 @@ class Compaction {
 
   int num_input_files(int which) const { return static_cast<int>(inputs_[which].size()); }
   FileMetaData* input(int which, int i) const { return inputs_[which][i].get(); }
+
+  // Total bytes across both input levels.
+  int64_t TotalInputBytes() const;
+
+  // Numbers of every input file (both levels), for disjointness checks.
+  std::vector<uint64_t> InputFileNumbers() const;
 
   uint64_t MaxOutputFileSize() const { return max_output_file_size_; }
 
@@ -226,6 +276,7 @@ class Compaction {
 
   int level_;
   uint64_t max_output_file_size_;
+  VersionSet* vset_ = nullptr;  // for in-flight release at destruction
   Version* input_version_;
   VersionEdit edit_;
 

@@ -60,13 +60,20 @@ struct Options {
   // study and both systems pay the same logging cost otherwise).
   bool disable_wal = false;
 
-  // Number of background compaction threads. The paper uses 1 everywhere
-  // except §5.3 where RocksDB uses several.
+  // Number of background compaction worker threads. Workers pick disjoint
+  // jobs (a job owns its input and output level until it completes), so
+  // compactions at different levels proceed concurrently and sustained
+  // write throughput scales with cores instead of serializing behind one
+  // compactor. The paper uses 1 everywhere except §5.3 where RocksDB uses
+  // several. Values < 1 are clamped to 1.
   int compaction_threads = 1;
 
-  // Dedicate a separate background thread to memtable flushes so heavy
-  // disk compactions never delay the Cm -> C'm roll (the "some thread is
-  // always reserved for flushing" RocksDB configuration of §5.3/§6).
+  // Historical knob: memtable flushes now always run on their own thread
+  // (the maintenance thread), separate from the compaction worker pool, so
+  // heavy disk compactions never delay the Cm -> C'm roll (the "some
+  // thread is always reserved for flushing" RocksDB configuration of
+  // §5.3/§6 is permanently in effect). Retained for option-sweep
+  // compatibility; has no behavioral effect anymore.
   bool dedicated_flush_thread = false;
 
   // Make snapshot acquisition linearizable instead of merely serializable:

@@ -1,0 +1,143 @@
+// Unit tests for the multi-threaded compaction scheduler's picking logic:
+// levels owned by an in-flight job are excluded from picking, the picker
+// falls through to the next-best free level, and releasing a job makes its
+// levels pickable again. These drive VersionSet::PickCompaction directly
+// with synthetic version edits so level scores are fully deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/lsm/storage_engine.h"
+#include "src/lsm/version_set.h"
+#include "tests/test_util.h"
+
+namespace clsm {
+namespace {
+
+class CompactionSchedulerTest : public ::testing::Test {
+ protected:
+  CompactionSchedulerTest() : dir_("compsched") {
+    engine_ = std::make_unique<StorageEngine>(options_, dir_.path() + "/db");
+    MemTable* recovered = nullptr;
+    SequenceNumber max_seq = 0;
+    EXPECT_TRUE(engine_->Open(&recovered, &max_seq).ok());
+    if (recovered != nullptr) {
+      recovered->Unref();
+    }
+  }
+
+  VersionSet* versions() { return engine_->versions(); }
+
+  // Adds a fake table file (metadata only — picking never opens files) at
+  // `level` covering [begin, end] with the given claimed size.
+  void AddFakeFile(VersionEdit* edit, int level, const std::string& begin, const std::string& end,
+                   uint64_t size) {
+    const uint64_t number = versions()->NewFileNumber();
+    InternalKey smallest(begin, kMaxSequenceNumber, kTypeValue);
+    InternalKey largest(end, 0, kTypeValue);
+    edit->AddFile(level, number, size, smallest, largest);
+  }
+
+  static std::vector<uint64_t> SortedInputs(Compaction* c) {
+    std::vector<uint64_t> files = c->InputFileNumbers();
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  static bool Disjoint(Compaction* a, Compaction* b) {
+    std::vector<uint64_t> fa = SortedInputs(a);
+    std::vector<uint64_t> fb = SortedInputs(b);
+    std::vector<uint64_t> common;
+    std::set_intersection(fa.begin(), fa.end(), fb.begin(), fb.end(), std::back_inserter(common));
+    return common.empty();
+  }
+
+  ScratchDir dir_;
+  Options options_;
+  std::unique_ptr<StorageEngine> engine_;
+};
+
+TEST_F(CompactionSchedulerTest, SecondPickExcludesBusyLevelsAndReleaseReenables) {
+  // Exactly l0_compaction_trigger files at level 0 => score 1.0 there,
+  // 0 everywhere else.
+  VersionEdit edit;
+  for (int i = 0; i < options_.l0_compaction_trigger; i++) {
+    AddFakeFile(&edit, 0, "a", "z", 4096);
+  }
+  ASSERT_TRUE(versions()->LogAndApply(&edit).ok());
+
+  std::unique_ptr<Compaction> c1(versions()->PickCompaction());
+  ASSERT_NE(nullptr, c1);
+  EXPECT_EQ(0, c1->level());
+  EXPECT_EQ(1, versions()->NumInFlightCompactions());
+  const std::vector<uint64_t> first_inputs = SortedInputs(c1.get());
+  EXPECT_EQ(options_.l0_compaction_trigger, static_cast<int>(first_inputs.size()));
+
+  // Level 0 (and its output level 1) are owned by c1; no other level needs
+  // work, so a second pick must return nothing rather than overlapping work.
+  std::unique_ptr<Compaction> c2(versions()->PickCompaction());
+  EXPECT_EQ(nullptr, c2);
+  EXPECT_EQ(1, versions()->NumInFlightCompactions());
+
+  // Releasing the job (destroying it without installing its edit) makes the
+  // level pickable again, and the fresh pick sees the identical input set.
+  c1.reset();
+  EXPECT_EQ(0, versions()->NumInFlightCompactions());
+  std::unique_ptr<Compaction> c3(versions()->PickCompaction());
+  ASSERT_NE(nullptr, c3);
+  EXPECT_EQ(0, c3->level());
+  EXPECT_EQ(first_inputs, SortedInputs(c3.get()));
+  c3.reset();
+
+  EXPECT_EQ(0u, versions()->InFlightOverlapViolations());
+  EXPECT_EQ(0, versions()->NumInFlightCompactions());
+}
+
+TEST_F(CompactionSchedulerTest, PickerFallsThroughToNextFreeLevel) {
+  // Two levels need compaction: level 0 (score 3.0: 12 files over a trigger
+  // of 4) and level 2 (score 1.2: 120 MiB over a 100 MiB target). The level
+  // pairs {0,1} and {2,3} are disjoint, so both jobs may run concurrently.
+  VersionEdit edit;
+  for (int i = 0; i < 3 * options_.l0_compaction_trigger; i++) {
+    AddFakeFile(&edit, 0, "a", "m", 4096);
+  }
+  AddFakeFile(&edit, 2, "a", "g", 60 << 20);
+  AddFakeFile(&edit, 2, "h", "z", 60 << 20);
+  ASSERT_TRUE(versions()->LogAndApply(&edit).ok());
+
+  // Highest score first: level 0.
+  std::unique_ptr<Compaction> c1(versions()->PickCompaction());
+  ASSERT_NE(nullptr, c1);
+  EXPECT_EQ(0, c1->level());
+
+  // Level 0 is busy, so the picker must fall through to level 2 instead of
+  // returning null or re-picking level 0's files.
+  std::unique_ptr<Compaction> c2(versions()->PickCompaction());
+  ASSERT_NE(nullptr, c2);
+  EXPECT_EQ(2, c2->level());
+  EXPECT_TRUE(Disjoint(c1.get(), c2.get()));
+  EXPECT_EQ(2, versions()->NumInFlightCompactions());
+
+  // Every level needing work is now owned; a third pick yields nothing.
+  std::unique_ptr<Compaction> c3(versions()->PickCompaction());
+  EXPECT_EQ(nullptr, c3);
+
+  // Releasing only the level-0 job re-enables levels 0 and 1 while leaving
+  // the level-2 job's ownership intact.
+  c1.reset();
+  EXPECT_EQ(1, versions()->NumInFlightCompactions());
+  std::unique_ptr<Compaction> c4(versions()->PickCompaction());
+  ASSERT_NE(nullptr, c4);
+  EXPECT_EQ(0, c4->level());
+  EXPECT_TRUE(Disjoint(c4.get(), c2.get()));
+
+  c4.reset();
+  c2.reset();
+  EXPECT_EQ(0, versions()->NumInFlightCompactions());
+  EXPECT_EQ(0u, versions()->InFlightOverlapViolations());
+}
+
+}  // namespace
+}  // namespace clsm

@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "src/baselines/factory.h"
 #include "src/core/write_batch.h"

@@ -36,6 +36,10 @@ BenchConfig LoadBenchConfig() {
   if (duration != nullptr) {
     config.duration_ms = atoi(duration);
   }
+  const char* dump_sec = getenv("CLSM_BENCH_STATS_DUMP_SEC");
+  if (dump_sec != nullptr) {
+    config.stats_dump_period_sec = static_cast<unsigned>(atoi(dump_sec));
+  }
   return config;
 }
 
@@ -54,6 +58,7 @@ Options FigureOptions(const BenchConfig& config) {
   Options options;
   options.write_buffer_size = config.write_buffer_size;  // the "128MB" knob, scaled
   options.sync_logging = false;                          // paper default: async logging
+  options.stats_dump_period_sec = config.stats_dump_period_sec;
   return options;
 }
 
@@ -83,6 +88,7 @@ DriverResult RunCell(DbVariant variant, const WorkloadSpec& spec, int threads,
   db->WaitForMaintenance();
   DriverResult result = RunWorkload(db.get(), spec, threads, config.duration_ms);
   db->WaitForMaintenance();
+  result.stats_json = db->GetProperty("clsm.stats.json");
   return result;
 }
 
@@ -161,6 +167,51 @@ void ResultTable::Add(DbVariant variant, int threads, double value) {
 
 void ResultTable::AddLatency(DbVariant variant, int threads, double p90_micros) {
   rows_[VariantName(variant)][threads].p90 = p90_micros;
+}
+
+void ResultTable::AddResult(DbVariant variant, int threads, const DriverResult& result) {
+  Cell& cell = rows_[VariantName(variant)][threads];
+  cell.value = result.ops_per_sec;
+  cell.p50 = result.latency_micros.Percentile(50);
+  cell.p90 = result.latency_micros.Percentile(90);
+  cell.p99 = result.latency_micros.Percentile(99);
+  cell.p999 = result.latency_micros.Percentile(99.9);
+  cell.stats_json = result.stats_json;
+  cell.set = true;
+}
+
+bool ResultTable::WriteJson(const std::string& figure_id, const BenchConfig& config) const {
+  int rc = system("mkdir -p bench_results");
+  (void)rc;
+  const std::string path = "bench_results/" + figure_id + ".json";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  fprintf(f, "{\"figure\":\"%s\",\"metric\":\"%s\",\"scale\":\"%s\",\"duration_ms\":%d,\n",
+          figure_id.c_str(), metric_.c_str(), config.scale.c_str(), config.duration_ms);
+  fprintf(f, "\"cells\":[");
+  bool first = true;
+  for (const auto& [name, cells] : rows_) {
+    for (int t : thread_counts_) {
+      auto it = cells.find(t);
+      if (it == cells.end() || !it->second.set) {
+        continue;
+      }
+      const Cell& c = it->second;
+      fprintf(f, "%s\n{\"system\":\"%s\",\"threads\":%d,\"ops_per_sec\":%.1f,"
+                 "\"p50_us\":%.2f,\"p90_us\":%.2f,\"p99_us\":%.2f,\"p999_us\":%.2f,"
+                 "\"stats\":%s}",
+              first ? "" : ",", name.c_str(), t, c.value, c.p50, c.p90, c.p99, c.p999,
+              c.stats_json.empty() ? "null" : c.stats_json.c_str());
+      first = false;
+    }
+  }
+  fprintf(f, "\n]}\n");
+  fclose(f);
+  printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 double ResultTable::Get(DbVariant variant, int threads) const {

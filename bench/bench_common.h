@@ -7,6 +7,8 @@
 //   CLSM_BENCH_SCALE   "smoke" (default: seconds-per-cell suitable for CI),
 //                      "paper" (minutes-per-cell, larger datasets)
 //   CLSM_BENCH_THREADS comma list overriding the thread sweep, e.g. "1,2,4"
+//   CLSM_BENCH_STATS_DUMP_SEC  period of the in-DB StatsReporter thread
+//                      (0 = off); interval deltas + JSON go to stderr
 //
 // NOTE on hardware: the paper runs on a 16-hardware-thread Xeon. On hosts
 // with fewer cores the sweep still runs — oversubscribed — and measures
@@ -36,6 +38,8 @@ struct BenchConfig {
   size_t write_buffer_size = 4 << 20;
   std::vector<int> thread_counts = {1, 2, 4, 8, 16};
   std::string scale = "smoke";
+  // Periodic stats dump inside each opened DB (0 = off).
+  unsigned stats_dump_period_sec = 0;
 };
 
 // Reads CLSM_BENCH_SCALE / CLSM_BENCH_THREADS and returns the config.
@@ -57,9 +61,20 @@ class ResultTable {
   void Add(DbVariant variant, int threads, double value);
   // Attach latency info for the latency-vs-throughput view (Figs 5b/6b).
   void AddLatency(DbVariant variant, int threads, double p90_micros);
+  // Record a whole cell (throughput + latency percentiles + the DB's stats
+  // snapshot) so WriteJson can emit the machine-readable series.
+  void AddResult(DbVariant variant, int threads, const DriverResult& result);
   void Print() const;
   void PrintLatencyView() const;
   double Get(DbVariant variant, int threads) const;
+
+  // Writes bench_results/<figure_id>.json:
+  // { "figure": id, "metric": ..., "scale": ..., "duration_ms": N,
+  //   "cells": [ { "system": name, "threads": T, "ops_per_sec": X,
+  //                "p50_us":..,"p90_us":..,"p99_us":..,"p999_us":..,
+  //                "stats": <the cell's clsm.stats.json snapshot> }, ... ] }
+  // Returns true on success (creates bench_results/ if needed).
+  bool WriteJson(const std::string& figure_id, const BenchConfig& config) const;
 
  private:
   std::string metric_;
@@ -67,6 +82,8 @@ class ResultTable {
   struct Cell {
     double value = 0;
     double p90 = 0;
+    double p50 = 0, p99 = 0, p999 = 0;
+    std::string stats_json;
     bool set = false;
   };
   std::map<std::string, std::map<int, Cell>> rows_;

@@ -40,11 +40,13 @@ int main() {
         }
         db->WaitForMaintenance();
         DriverResult r = RunTraceWorkload(db.get(), spec, threads, config.duration_ms, 17);
-        table.Add(v, threads, r.ops_per_sec);
         db->WaitForMaintenance();
+        r.stats_json = db->GetProperty("clsm.stats.json");
+        table.AddResult(v, threads, r);
       }
     }
     table.Print();
+    table.WriteJson("fig10_" + spec.name, config);
   }
   return 0;
 }

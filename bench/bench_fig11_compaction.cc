@@ -91,12 +91,13 @@ int main() {
   for (DbVariant v : {DbVariant::kRocksDb, DbVariant::kClsm}) {
     for (int threads : config.thread_counts) {
       DriverResult r = RunCell(v, spec, threads, cell_config, options);
-      table.Add(v, threads, r.ops_per_sec);
+      table.AddResult(v, threads, r);
     }
   }
 
   printf("\n--- Fig 11: update throughput under continuous compaction ---\n");
   table.Print();
+  table.WriteJson("fig11_compaction", config);
   printf("\n(paper shape: both systems scale to 16 threads and converge at 16)\n");
 
   // --- Parallel compaction scheduler sweep (§5.3): same update-heavy

@@ -10,6 +10,7 @@
 // consolidation argument (bigger consistent scans, less partition
 // metadata) of §2.2.
 #include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -72,6 +73,14 @@ int main() {
   uint64_t keys_per_partition = config.scale == "paper" ? 500'000 : 12'000;
   std::vector<TraceSpec> specs = ProductionTraceSpecs(keys_per_partition);
 
+  struct JsonCell {
+    std::string system;
+    int threads;
+    double ops_per_sec;
+    std::string stats_json;  // empty for multi-DB configs
+  };
+  std::vector<JsonCell> json_cells;
+
   printf("\n%-28s", "config \\ threads");
   for (int t : config.thread_counts) {
     printf("%12d", t);
@@ -113,6 +122,8 @@ int main() {
       double ops = RunPartitioned(dbs, specs, threads, config.duration_ms);
       printf("%12.0f", ops);
       fflush(stdout);
+      json_cells.push_back(
+          {std::string(VariantName(v)) + "_x4_partitions", threads, ops, std::string()});
     }
     printf("\n");
   }
@@ -152,11 +163,33 @@ int main() {
       printf("%12.0f", ops);
       fflush(stdout);
       db->WaitForMaintenance();
+      json_cells.push_back(
+          {"clsm_1_big_partition", threads, ops, db->GetProperty("clsm.stats.json")});
     }
     printf("\n");
   }
 
   printf("\n(paper shape: the resource-shared cLSM configuration peaks ~25%% above\n"
          " the partitioned LevelDB/HyperLevelDB configurations)\n");
+
+  // Same bench-result schema as ResultTable::WriteJson ("stats" is null for
+  // the partitioned configs: four DBs, no single snapshot).
+  int rc = system("mkdir -p bench_results");
+  (void)rc;
+  FILE* f = fopen("bench_results/fig1_partitioning.json", "w");
+  if (f != nullptr) {
+    fprintf(f, "{\"figure\":\"fig1_partitioning\",\"metric\":\"ops/sec\",\"scale\":\"%s\","
+               "\"duration_ms\":%d,\n\"cells\":[",
+            config.scale.c_str(), config.duration_ms);
+    for (size_t i = 0; i < json_cells.size(); i++) {
+      const JsonCell& c = json_cells[i];
+      fprintf(f, "%s\n{\"system\":\"%s\",\"threads\":%d,\"ops_per_sec\":%.1f,\"stats\":%s}",
+              i == 0 ? "" : ",", c.system.c_str(), c.threads, c.ops_per_sec,
+              c.stats_json.empty() ? "null" : c.stats_json.c_str());
+    }
+    fprintf(f, "\n]}\n");
+    fclose(f);
+    printf("wrote bench_results/fig1_partitioning.json\n");
+  }
   return 0;
 }

@@ -29,8 +29,7 @@ int main() {
   for (DbVariant v : systems) {
     for (int threads : config.thread_counts) {
       DriverResult r = RunCell(v, spec, threads, config, options);
-      table.Add(v, threads, r.ops_per_sec);
-      table.AddLatency(v, threads, r.latency_micros.Percentile(90));
+      table.AddResult(v, threads, r);
     }
   }
 
@@ -38,5 +37,6 @@ int main() {
   table.Print();
   printf("\n--- Fig 5b: throughput vs 90th-percentile latency ---\n");
   table.PrintLatencyView();
+  table.WriteJson("fig5_write", config);
   return 0;
 }

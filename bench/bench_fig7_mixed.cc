@@ -30,11 +30,12 @@ int main() {
     for (DbVariant v : systems) {
       for (int threads : config.thread_counts) {
         DriverResult r = RunCell(v, spec, threads, config, options);
-        table.Add(v, threads, r.ops_per_sec);
+        table.AddResult(v, threads, r);
       }
     }
     printf("\n--- Fig 7a: 50%% read / 50%% write (ops/sec) ---\n");
     table.Print();
+    table.WriteJson("fig7a_mixed_rw", config);
   }
 
   {
@@ -52,11 +53,13 @@ int main() {
     for (DbVariant v : systems) {
       for (int threads : config.thread_counts) {
         DriverResult r = RunCell(v, spec, threads, config, options);
-        table.Add(v, threads, r.keys_per_sec);
+        table.AddResult(v, threads, r);
+        table.Add(v, threads, r.keys_per_sec);  // figure metric is keys/sec
       }
     }
     printf("\n--- Fig 7b: 50%% scan / 50%% write (keys/sec; bLSM excluded) ---\n");
     table.Print();
+    table.WriteJson("fig7b_scan_write", config);
   }
   return 0;
 }

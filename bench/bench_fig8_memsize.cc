@@ -7,6 +7,9 @@
 // cLSM keeps improving up to 512MB because its parallel in-memory path
 // masks the deeper-skiplist latency. Sizes here are scaled down with the
 // same ratios (dataset : buffer).
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 
 using namespace clsm;
@@ -41,6 +44,12 @@ int main() {
   }
   printf("\n");
 
+  struct Cell {
+    std::string system;
+    size_t buffer_bytes;
+    DriverResult result;
+  };
+  std::vector<Cell> cells;
   for (DbVariant v : {DbVariant::kLevelDb, DbVariant::kClsm}) {
     printf("%-16s", VariantName(v));
     for (size_t buffer : buffer_sizes) {
@@ -49,10 +58,36 @@ int main() {
       DriverResult r = RunCell(v, spec, kThreads, config, options);
       printf("%12.0f", r.ops_per_sec);
       fflush(stdout);
+      cells.push_back({VariantName(v), buffer, std::move(r)});
     }
     printf("\n");
   }
   printf("\n(values are ops/sec; paper shape: cLSM keeps gaining with buffer size,\n"
          " LevelDB flattens early)\n");
+
+  // Same bench-result schema as ResultTable::WriteJson, with the sweep
+  // variable (buffer_bytes) added per cell.
+  int rc = system("mkdir -p bench_results");
+  (void)rc;
+  FILE* f = fopen("bench_results/fig8_memsize.json", "w");
+  if (f != nullptr) {
+    fprintf(f, "{\"figure\":\"fig8_memsize\",\"metric\":\"ops/sec\",\"scale\":\"%s\","
+               "\"duration_ms\":%d,\n\"cells\":[",
+            config.scale.c_str(), config.duration_ms);
+    for (size_t i = 0; i < cells.size(); i++) {
+      const Cell& c = cells[i];
+      fprintf(f, "%s\n{\"system\":\"%s\",\"threads\":%d,\"buffer_bytes\":%zu,"
+                 "\"ops_per_sec\":%.1f,\"p50_us\":%.2f,\"p90_us\":%.2f,\"p99_us\":%.2f,"
+                 "\"p999_us\":%.2f,\"stats\":%s}",
+              i == 0 ? "" : ",", c.system.c_str(), kThreads, c.buffer_bytes,
+              c.result.ops_per_sec, c.result.latency_micros.Percentile(50),
+              c.result.latency_micros.Percentile(90), c.result.latency_micros.Percentile(99),
+              c.result.latency_micros.Percentile(99.9),
+              c.result.stats_json.empty() ? "null" : c.result.stats_json.c_str());
+    }
+    fprintf(f, "\n]}\n");
+    fclose(f);
+    printf("wrote bench_results/fig8_memsize.json\n");
+  }
   return 0;
 }

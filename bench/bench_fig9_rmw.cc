@@ -20,8 +20,7 @@ int main() {
   for (DbVariant v : {DbVariant::kStripedRmw, DbVariant::kClsm}) {
     for (int threads : config.thread_counts) {
       DriverResult r = RunCell(v, spec, threads, config, options);
-      table.Add(v, threads, r.ops_per_sec);
-      table.AddLatency(v, threads, r.latency_micros.Percentile(90));
+      table.AddResult(v, threads, r);
     }
   }
 
@@ -29,5 +28,6 @@ int main() {
   table.Print();
   printf("\n(paper shape: cLSM ~2.5x the lock-striping baseline, close to its\n"
          " pure-write peak)\n");
+  table.WriteJson("fig9_rmw", config);
   return 0;
 }

@@ -6,9 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "src/arena/arena.h"
+#include "src/core/clsm_db.h"
+#include "src/obs/metrics.h"
 #include "src/queue/mpsc_queue.h"
 #include "src/skiplist/concurrent_skiplist.h"
 #include "src/sync/active_set.h"
@@ -134,6 +138,108 @@ void BM_MpscEnqueue(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MpscEnqueue)->ThreadRange(1, 8)->UseRealTime();
+
+// --- Observability overhead (PR-2 acceptance: <5% on Put/Get) ---
+
+// One relaxed record into the sharded registry (the whole marginal cost a
+// metrics-on op pays beyond its clock reads).
+void BM_StatsRegistryRecord(benchmark::State& state) {
+  static StatsRegistry* registry = nullptr;
+  if (state.thread_index() == 0) {
+    registry = new StatsRegistry;
+  }
+  uint64_t fake_nanos = 1000 + state.thread_index();
+  for (auto _ : state) {
+    registry->Record(OpMetric::kPut, fake_nanos);
+    fake_nanos += 37;
+  }
+  if (state.thread_index() == 0) {
+    delete registry;
+    registry = nullptr;
+  }
+}
+BENCHMARK(BM_StatsRegistryRecord)->ThreadRange(1, 8)->UseRealTime();
+
+// Full DB Put/Get with Options::latency_metrics on vs off. Compare the
+// /metrics:1 and /metrics:0 series of the same benchmark: the acceptance
+// bound is <5% between them.
+class InstrumentationFixture {
+ public:
+  explicit InstrumentationFixture(bool metrics_on) {
+    std::string dir = "/tmp/clsm-bench-obs-" + std::to_string(metrics_on ? 1 : 0);
+    std::string cmd = "rm -rf " + dir;
+    int rc = system(cmd.c_str());
+    (void)rc;
+    Options options;
+    options.latency_metrics = metrics_on;
+    options.write_buffer_size = 64 << 20;  // avoid rolls: isolate the op path
+    DB* raw = nullptr;
+    Status s = ClsmDb::Open(options, dir, &raw);
+    if (s.ok()) {
+      db_.reset(raw);
+      // A small resident key space so Gets hit the memtable.
+      WriteOptions wo;
+      char key[16];
+      std::string value(256, 'v');
+      for (uint64_t i = 0; i < 10000; i++) {
+        EncodeFixed64(key, i);
+        db_->Put(wo, Slice(key, 8), value);
+      }
+    }
+  }
+  DB* db() { return db_.get(); }
+
+ private:
+  std::unique_ptr<DB> db_;
+};
+
+template <bool kMetricsOn>
+void BM_DbPutInstrumentation(benchmark::State& state) {
+  static InstrumentationFixture* fixture = nullptr;
+  if (state.thread_index() == 0) {
+    fixture = new InstrumentationFixture(kMetricsOn);
+  }
+  WriteOptions wo;
+  char key[16];
+  std::string value(256, 'v');
+  uint64_t i = state.thread_index() * 1000003;
+  for (auto _ : state) {
+    EncodeFixed64(key, (i++ * 2654435761u) % 10000);
+    fixture->db()->Put(wo, Slice(key, 8), value);
+  }
+  if (state.thread_index() == 0) {
+    delete fixture;
+    fixture = nullptr;
+  }
+}
+BENCHMARK_TEMPLATE(BM_DbPutInstrumentation, false)
+    ->Name("BM_DbPut/metrics:0")->ThreadRange(1, 4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_DbPutInstrumentation, true)
+    ->Name("BM_DbPut/metrics:1")->ThreadRange(1, 4)->UseRealTime();
+
+template <bool kMetricsOn>
+void BM_DbGetInstrumentation(benchmark::State& state) {
+  static InstrumentationFixture* fixture = nullptr;
+  if (state.thread_index() == 0) {
+    fixture = new InstrumentationFixture(kMetricsOn);
+  }
+  ReadOptions ro;
+  char key[16];
+  std::string value;
+  Random64 rnd(state.thread_index() + 1);
+  for (auto _ : state) {
+    EncodeFixed64(key, rnd.Uniform(10000));
+    benchmark::DoNotOptimize(fixture->db()->Get(ro, Slice(key, 8), &value));
+  }
+  if (state.thread_index() == 0) {
+    delete fixture;
+    fixture = nullptr;
+  }
+}
+BENCHMARK_TEMPLATE(BM_DbGetInstrumentation, false)
+    ->Name("BM_DbGet/metrics:0")->ThreadRange(1, 4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_DbGetInstrumentation, true)
+    ->Name("BM_DbGet/metrics:1")->ThreadRange(1, 4)->UseRealTime();
 
 void BM_ConcurrentArenaAllocate(benchmark::State& state) {
   static ConcurrentArena* arena = nullptr;

@@ -3,12 +3,16 @@
 #include <chrono>
 
 #include "src/core/db_iter.h"
+#include "src/obs/instrumented_iter.h"
+#include "src/obs/stats_export.h"
 #include "src/table/merging_iterator.h"
 
 namespace clsm {
 
 BaselineDbBase::BaselineDbBase(const Options& options, const std::string& dbname)
-    : dbname_(dbname), engine_(options, dbname) {}
+    : dbname_(dbname), engine_(options, dbname), metrics_on_(options.latency_metrics) {
+  engine_.SetStatsRegistry(metrics_on_ ? &registry_ : nullptr);
+}
 
 Status BaselineDbBase::Init() {
   MemTable* recovered = nullptr;
@@ -55,10 +59,27 @@ Status BaselineDbBase::Init() {
 
   mem_.store(new MemTable(*engine_.icmp()), std::memory_order_release);
   maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
+  if (engine_.options().stats_dump_period_sec > 0) {
+    reporter_ = std::make_unique<StatsReporter>(
+        Name(), engine_.options().stats_dump_period_sec,
+        [this] {
+          ReporterCounters c;
+          c.writes = stats_.puts_total.load(std::memory_order_relaxed) +
+                     stats_.deletes_total.load(std::memory_order_relaxed);
+          c.gets = stats_.gets_total.load(std::memory_order_relaxed);
+          c.flushes = stats_.flushes.load(std::memory_order_relaxed);
+          c.compactions = engine_.compaction_stats()->TotalCompactions();
+          c.stall_micros = stats_.TotalStallMicros();
+          return c;
+        },
+        [this] { return GetProperty("clsm.stats.json"); });
+  }
   return Status::OK();
 }
 
 BaselineDbBase::~BaselineDbBase() {
+  // Stop the reporter first: its callbacks walk stats_/engine_ state.
+  reporter_.reset();
   shutting_down_.store(true, std::memory_order_release);
   maintenance_cv_.notify_all();
   if (maintenance_thread_.joinable()) {
@@ -78,18 +99,23 @@ BaselineDbBase::~BaselineDbBase() {
 }
 
 Status BaselineDbBase::Put(const WriteOptions& options, const Slice& key, const Slice& value) {
+  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kPut);
+  stats_.Bump(stats_.puts_total);
   WriteBatch batch;
   batch.Put(key, value);
-  return Write(options, &batch);
+  return WriteLocked(options, &batch);
 }
 
 Status BaselineDbBase::Delete(const WriteOptions& options, const Slice& key) {
+  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kDelete);
+  stats_.Bump(stats_.deletes_total);
   WriteBatch batch;
   batch.Delete(key);
-  return Write(options, &batch);
+  return WriteLocked(options, &batch);
 }
 
 Status BaselineDbBase::Write(const WriteOptions& options, WriteBatch* updates) {
+  stats_.Bump(stats_.batches_total);
   return WriteLocked(options, updates);
 }
 
@@ -137,7 +163,10 @@ Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* upda
     for (Writer* member : group) {
       any_sync = any_sync || member->sync;
       // One WAL record per member batch: each user batch recovers
-      // all-or-nothing.
+      // all-or-nothing. Phase latencies are per member batch: mem_insert
+      // covers the memtable adds (plus record encoding), wal_append the
+      // logger enqueue.
+      const uint64_t t0 = metrics_on_ ? LatencyClock::Ticks() : 0;
       std::string record;
       for (const WriteBatch::Op& op : member->batch->ops()) {
         ++seq;
@@ -146,8 +175,14 @@ Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* upda
           EncodeWalRecord(&record, seq, op.type, op.key, op.value);
         }
       }
+      const uint64_t t1 = metrics_on_ ? LatencyClock::Ticks() : 0;
       if (use_wal && !record.empty()) {
         logger->AddRecordAsync(std::move(record));
+      }
+      if (metrics_on_) {
+        registry_.Record(OpMetric::kMemInsert, LatencyClock::ToNanos(t1 - t0));
+        registry_.Record(OpMetric::kWalAppend,
+                         LatencyClock::ToNanos(LatencyClock::Ticks() - t1));
       }
     }
     // Publish once, after every entry of every batch in the group is in the
@@ -188,31 +223,70 @@ void BaselineDbBase::SlowdownWait(std::unique_lock<std::mutex>& lock) {
 
 Status BaselineDbBase::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
   bool allow_delay = true;
+  // Bracket the whole blocked interval with one StallBegin/End pair (see
+  // ClsmDb::ThrottleIfNeeded) and account it in stats_.
+  bool stalled = false;
+  StallReason stall_reason = StallReason::kMemtableFull;
+  uint64_t stall_start_nanos = 0;
+  auto end_stall = [&] {
+    if (stalled) {
+      const uint64_t nanos = MonotonicNanos() - stall_start_nanos;
+      if (metrics_on_) {
+        registry_.Record(OpMetric::kRollWait, nanos);
+      }
+      stats_.Add(stats_.stall_micros, static_cast<uint64_t>(nanos / 1000));
+      engine_.listeners().NotifyStallEnd(stall_reason, nanos / 1000);
+      stalled = false;
+    }
+  };
+  auto begin_stall = [&](StallReason reason) {
+    if (!stalled) {
+      stalled = true;
+      stall_reason = reason;
+      stall_start_nanos = MonotonicNanos();
+      stats_.Bump(stats_.throttle_waits);
+      engine_.listeners().NotifyStallBegin(reason);
+    }
+  };
   while (true) {
     if (!bg_error_.ok()) {
+      end_stall();
       return bg_error_;
     }
     if (allow_delay &&
         engine_.NumLevelFiles(0) >= engine_.options().l0_slowdown_trigger) {
       allow_delay = false;
+      // A hard stall may be open if an earlier iteration blocked before L0
+      // crossed the slowdown trigger; stalls never nest, so close it first.
+      end_stall();
+      stats_.Bump(stats_.slowdown_waits);
+      engine_.listeners().NotifyStallBegin(StallReason::kL0Slowdown);
+      const uint64_t t0 = MonotonicNanos();
       SlowdownWait(lock);
+      const uint64_t slow_micros = (MonotonicNanos() - t0) / 1000;
+      stats_.Add(stats_.slowdown_micros, slow_micros);
+      engine_.listeners().NotifyStallEnd(StallReason::kL0Slowdown, slow_micros);
       continue;
     }
     MemTable* mem = mem_.load(std::memory_order_acquire);
     if (mem->ApproximateMemoryUsage() < engine_.options().write_buffer_size) {
+      end_stall();
       return Status::OK();
     }
     if (imm_exists_.load(std::memory_order_acquire)) {
       // Previous memtable still being flushed: the single-writer stalls.
+      begin_stall(StallReason::kMemtableFull);
       maintenance_cv_.notify_one();
       work_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
       continue;
     }
     if (engine_.NumLevelFiles(0) >= engine_.options().l0_stop_trigger) {
+      begin_stall(StallReason::kL0Stop);
       maintenance_cv_.notify_one();
       work_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
       continue;
     }
+    end_stall();
     RollMemTableLocked();
     maintenance_cv_.notify_one();
   }
@@ -240,11 +314,14 @@ void BaselineDbBase::RollMemTableLocked() {
   imm_logger_.reset(old_logger);
   log_number_ = fresh_log;
   imm_exists_.store(true, std::memory_order_release);
+  stats_.Bump(stats_.memtable_rolls);
+  engine_.listeners().NotifyMemtableRoll(old_mem->ApproximateMemoryUsage());
 }
 
 void BaselineDbBase::FlushImmutable() {
   MemTable* imm = imm_.load(std::memory_order_acquire);
   assert(imm != nullptr);
+  stats_.Bump(stats_.flushes);
   imm_logger_.reset();  // drain + sync the retired WAL
 
   // Persist the sequence counter with the flush edit (see ClsmDb note).
@@ -331,9 +408,12 @@ Status BaselineDbBase::GetInternal(const ReadOptions& options, const Slice& key,
 
   Status s;
   if (mem->Get(lkey, value, &s, seq_found)) {
+    stats_.Bump(stats_.gets_from_mem);
   } else if (imm != nullptr && imm->Get(lkey, value, &s, seq_found)) {
+    stats_.Bump(stats_.gets_from_imm);
   } else {
     s = engine_.Get(options, lkey, value, seq_found);
+    stats_.Bump(stats_.gets_from_disk);
   }
   mem->Unref();
   if (imm != nullptr) {
@@ -360,6 +440,8 @@ Status BaselineDbBase::GetLatestLocked(const ReadOptions& options, const Slice& 
 }
 
 Status BaselineDbBase::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kGet);
+  stats_.Bump(stats_.gets_total);
   SequenceNumber seq;
   if (options.snapshot != nullptr) {
     seq = static_cast<const SnapshotImpl*>(options.snapshot)->timestamp();
@@ -390,6 +472,7 @@ void CleanupIterState(void* arg1, void* arg2) {
 }  // namespace
 
 Iterator* BaselineDbBase::NewIterator(const ReadOptions& options) {
+  stats_.Bump(stats_.iterators_created);
   SequenceNumber seq;
   if (options.snapshot != nullptr) {
     seq = static_cast<const SnapshotImpl*>(options.snapshot)->timestamp();
@@ -409,12 +492,14 @@ Iterator* BaselineDbBase::NewIterator(const ReadOptions& options) {
   Iterator* internal =
       NewMergingIterator(engine_.icmp(), children.data(), static_cast<int>(children.size()));
   internal->RegisterCleanup(&CleanupIterState, state, nullptr);
-  return NewDBIterator(engine_.icmp()->user_comparator(), internal, seq);
+  return NewLatencyRecordingIterator(NewDBIterator(engine_.icmp()->user_comparator(), internal, seq),
+                                     metrics_on_ ? &registry_ : nullptr);
 }
 
 const Snapshot* BaselineDbBase::GetSnapshot() {
   // LevelDB-style: writes are serialized, so the published last sequence is
   // itself a consistent cut — no Active-set machinery needed.
+  stats_.Bump(stats_.snapshots_acquired);
   std::lock_guard<std::mutex> l(mutex_);
   return snapshots_.New(last_sequence_.load(std::memory_order_acquire));
 }
@@ -428,6 +513,8 @@ Status BaselineDbBase::ReadModifyWrite(const WriteOptions& options, const Slice&
   if (performed != nullptr) {
     *performed = false;
   }
+  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kRmw);
+  stats_.Bump(stats_.rmw_total);
   std::lock_guard<std::mutex> l(mutex_);
   std::string current;
   SequenceNumber seq_found = 0;
@@ -462,6 +549,21 @@ std::string BaselineDbBase::GetProperty(const Slice& property) {
   }
   if (property == Slice("clsm.last-ts")) {
     return std::to_string(last_sequence_.load());
+  }
+  if (property == Slice("clsm.stats")) {
+    stats_.compactions.store(engine_.compaction_stats()->TotalCompactions(),
+                             std::memory_order_relaxed);
+    return stats_.ToString() + engine_.compaction_stats()->ToString();
+  }
+  if (property == Slice("clsm.stats.json")) {
+    stats_.compactions.store(engine_.compaction_stats()->TotalCompactions(),
+                             std::memory_order_relaxed);
+    StatsJsonSource src;
+    src.db = Name();
+    src.counters = &stats_;
+    src.registry = &registry_;
+    src.engine = &engine_;
+    return BuildStatsJson(src);
   }
   if (property == Slice("clsm.bg-error")) {
     std::lock_guard<std::mutex> l(mutex_);

@@ -24,8 +24,11 @@
 
 #include "src/core/db.h"
 #include "src/core/snapshot.h"
+#include "src/core/stats.h"
 #include "src/core/write_batch.h"
 #include "src/lsm/storage_engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/stats_reporter.h"
 
 namespace clsm {
 
@@ -109,6 +112,13 @@ class BaselineDbBase : public DB {
   std::atomic<bool> shutting_down_{false};
   Status bg_error_;  // guarded by mutex_
   std::thread maintenance_thread_;
+
+  // Observability: same counters/latency series as ClsmDb so every variant
+  // exports the identical "clsm.stats.json" schema.
+  DbStats stats_;
+  StatsRegistry registry_;
+  bool metrics_on_ = true;  // cached Options::latency_metrics
+  std::unique_ptr<StatsReporter> reporter_;
 };
 
 }  // namespace clsm

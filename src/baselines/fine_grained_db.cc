@@ -36,6 +36,12 @@ class HyperStyleDb final : public BaselineDbBase {
 
   Status ConcurrentWrite(const WriteOptions& options, ValueType type, const Slice& key,
                          const Slice& value) {
+    // This fast path bypasses BaselineDbBase::Put/WriteLocked, so it keeps
+    // its own books: the same op counters and latency series every other
+    // variant records.
+    stats_.Bump(type == kTypeValue ? stats_.puts_total : stats_.deletes_total);
+    ScopedLatency probe(metrics_on_ ? &registry_ : nullptr,
+                        type == kTypeValue ? OpMetric::kPut : OpMetric::kDelete);
     // Slow path only when backpressure thresholds are near: take the global
     // mutex and run LevelDB's room-making logic (including the roll).
     MemTable* mem_probe = mem_.load(std::memory_order_acquire);
@@ -52,18 +58,30 @@ class HyperStyleDb final : public BaselineDbBase {
     std::shared_lock<std::shared_mutex> roll_guard(roll_latch_);
     MemTable* mem = mem_.load(std::memory_order_acquire);
     SequenceNumber seq = last_sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const uint64_t t0 = metrics_on_ ? LatencyClock::Ticks() : 0;
     {
       std::lock_guard<std::mutex> stripe(stripes_[Hash(key) % kStripes]);
       mem->Add(seq, type, key, value);
+    }
+    const uint64_t t1 = metrics_on_ ? LatencyClock::Ticks() : 0;
+    if (metrics_on_) {
+      registry_.Record(OpMetric::kMemInsert, LatencyClock::ToNanos(t1 - t0));
     }
     if (!engine_.options().disable_wal) {
       std::string record;
       EncodeWalRecord(&record, seq, type, key, value);
       AsyncLogger* logger = logger_.load(std::memory_order_acquire);
+      Status s;
       if (options.sync || engine_.options().sync_logging) {
-        return logger->AddRecordSync(std::move(record));
+        s = logger->AddRecordSync(std::move(record));
+      } else {
+        logger->AddRecordAsync(std::move(record));
       }
-      logger->AddRecordAsync(std::move(record));
+      if (metrics_on_) {
+        registry_.Record(OpMetric::kWalAppend,
+                         LatencyClock::ToNanos(LatencyClock::Ticks() - t1));
+      }
+      return s;
     }
     return Status::OK();
   }

@@ -34,6 +34,8 @@ class StripedRmwDb final : public BaselineDbBase {
     if (performed != nullptr) {
       *performed = false;
     }
+    stats_.Bump(stats_.rmw_total);
+    ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kRmw);
     // Read-compute-write is atomic for this key because every writer of the
     // key serializes on the same stripe.
     std::lock_guard<std::mutex> stripe(stripes_[StripeFor(key)]);

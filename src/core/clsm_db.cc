@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "src/core/db_iter.h"
+#include "src/obs/instrumented_iter.h"
+#include "src/obs/stats_export.h"
 #include "src/table/merging_iterator.h"
 
 namespace clsm {
@@ -19,7 +21,9 @@ Status ClsmDb::Open(const Options& options, const std::string& dbname, DB** dbpt
 }
 
 ClsmDb::ClsmDb(const Options& options, const std::string& dbname)
-    : dbname_(dbname), engine_(options, dbname) {}
+    : dbname_(dbname), engine_(options, dbname), metrics_on_(options.latency_metrics) {
+  engine_.SetStatsRegistry(metrics_on_ ? &registry_ : nullptr);
+}
 
 Status ClsmDb::Init() {
   MemTable* recovered = nullptr;
@@ -83,10 +87,27 @@ Status ClsmDb::Init() {
         }
         work_done_cv_.notify_all();
       });
+  if (engine_.options().stats_dump_period_sec > 0) {
+    reporter_ = std::make_unique<StatsReporter>(
+        Name(), engine_.options().stats_dump_period_sec,
+        [this] {
+          ReporterCounters c;
+          c.writes = stats_.puts_total.load(std::memory_order_relaxed) +
+                     stats_.deletes_total.load(std::memory_order_relaxed);
+          c.gets = stats_.gets_total.load(std::memory_order_relaxed);
+          c.flushes = stats_.flushes.load(std::memory_order_relaxed);
+          c.compactions = engine_.compaction_stats()->TotalCompactions();
+          c.stall_micros = stats_.TotalStallMicros();
+          return c;
+        },
+        [this] { return GetProperty("clsm.stats.json"); });
+  }
   return Status::OK();
 }
 
 ClsmDb::~ClsmDb() {
+  // Stop the reporter first: its callbacks walk stats_/engine_ state.
+  reporter_.reset();
   shutting_down_.store(true, std::memory_order_release);
   maintenance_cv_.notify_all();
   if (maintenance_thread_.joinable()) {
@@ -171,12 +192,34 @@ Status ClsmDb::ThrottleIfNeeded() {
   // per put, trading a little latency for not hitting (b) at all (the
   // gradual-backpressure policy of Luo & Carey's stability analysis).
   bool slowed_down = false;
+  // Hard-stall bracketing for the listeners/kRollWait series: the loop
+  // below re-checks the triggers every ~1ms, but observers see one
+  // Begin/End pair spanning the whole blocked interval.
+  bool stalled = false;
+  StallReason stall_reason = StallReason::kMemtableFull;
+  uint64_t stall_start_nanos = 0;
+  auto end_stall = [&] {
+    if (stalled) {
+      const uint64_t nanos = MonotonicNanos() - stall_start_nanos;
+      if (metrics_on_) {
+        registry_.Record(OpMetric::kRollWait, nanos);
+      }
+      engine_.listeners().NotifyStallEnd(stall_reason, nanos / 1000);
+      stalled = false;
+    }
+  };
   while (!shutting_down_.load(std::memory_order_acquire)) {
     MemTable* m = mem_.load(std::memory_order_acquire);
     const bool mem_full = m->ApproximateMemoryUsage() >= engine_.options().write_buffer_size;
     const int l0_files = engine_.NumLevelFiles(0);
     const bool l0_stuffed = l0_files >= engine_.options().l0_stop_trigger;
     if ((mem_full && imm_exists_.load(std::memory_order_acquire)) || l0_stuffed) {
+      if (!stalled) {
+        stalled = true;
+        stall_reason = l0_stuffed ? StallReason::kL0Stop : StallReason::kMemtableFull;
+        stall_start_nanos = MonotonicNanos();
+        engine_.listeners().NotifyStallBegin(stall_reason);
+      }
       stats_.Bump(stats_.throttle_waits);
       const auto t0 = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> l(maintenance_mutex_);
@@ -184,6 +227,8 @@ Status ClsmDb::ThrottleIfNeeded() {
         // Maintenance cannot drain the pipeline; waiting would stall
         // writers forever. Latch the error out to the caller (as LevelDB
         // does), cleared only by reopening the store.
+        l.unlock();
+        end_stall();
         return bg_error_;
       }
       maintenance_cv_.notify_one();
@@ -196,18 +241,22 @@ Status ClsmDb::ThrottleIfNeeded() {
                      .count());
       continue;
     }
+    end_stall();
     if (!slowed_down && l0_files >= engine_.options().l0_slowdown_trigger) {
       // Bounded slowdown: delay this put once by ~1ms so compaction gains
       // on the writers before the stop trigger is reached.
       slowed_down = true;
       stats_.Bump(stats_.slowdown_waits);
       engine_.SignalCompaction();
+      engine_.listeners().NotifyStallBegin(StallReason::kL0Slowdown);
       const auto t0 = std::chrono::steady_clock::now();
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      stats_.Add(stats_.slowdown_micros,
-                 std::chrono::duration_cast<std::chrono::microseconds>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count());
+      const auto slow_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+      stats_.Add(stats_.slowdown_micros, slow_micros);
+      engine_.listeners().NotifyStallEnd(StallReason::kL0Slowdown,
+                                         static_cast<uint64_t>(slow_micros));
       continue;  // re-check: L0 may have crossed the stop trigger meanwhile
     }
     if (mem_full) {
@@ -216,12 +265,16 @@ Status ClsmDb::ThrottleIfNeeded() {
     }
     break;
   }
+  end_stall();
   return Status::OK();
 }
 
 Status ClsmDb::PutInternal(const WriteOptions& options, ValueType type, const Slice& key,
                            const Slice& value) {
   stats_.Bump(type == kTypeValue ? stats_.puts_total : stats_.deletes_total);
+  // Latency probes: four LatencyClock reads when metrics are on (op total
+  // plus the mem-insert and WAL-append phase splits), zero when off.
+  const uint64_t t0 = metrics_on_ ? LatencyClock::Ticks() : 0;
   Status throttle_status = ThrottleIfNeeded();
   if (!throttle_status.ok()) {
     return throttle_status;
@@ -231,7 +284,9 @@ Status ClsmDb::PutInternal(const WriteOptions& options, ValueType type, const Sl
   lock_.LockShared();
   SequenceNumber ts = GetTS();
   MemTable* mem = mem_.load(std::memory_order_acquire);
+  const uint64_t t1 = metrics_on_ ? LatencyClock::Ticks() : 0;
   mem->Add(ts, type, key, value);
+  const uint64_t t2 = metrics_on_ ? LatencyClock::Ticks() : 0;
   if (!engine_.options().disable_wal) {
     std::string record;
     EncodeWalRecord(&record, ts, type, key, value);
@@ -249,6 +304,13 @@ Status ClsmDb::PutInternal(const WriteOptions& options, ValueType type, const Sl
   }
   active_.Remove(ts);
   lock_.UnlockShared();
+  if (metrics_on_) {
+    const uint64_t t3 = LatencyClock::Ticks();
+    registry_.Record(OpMetric::kMemInsert, LatencyClock::ToNanos(t2 - t1));
+    registry_.Record(OpMetric::kWalAppend, LatencyClock::ToNanos(t3 - t2));
+    registry_.Record(type == kTypeValue ? OpMetric::kPut : OpMetric::kDelete,
+                     LatencyClock::ToNanos(t3 - t0));
+  }
   return Status::OK();
 }
 
@@ -296,6 +358,7 @@ Status ClsmDb::Write(const WriteOptions& options, WriteBatch* updates) {
 }
 
 Status ClsmDb::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kGet);
   SequenceNumber seq = kMaxSequenceNumber;
   if (options.snapshot != nullptr) {
     seq = static_cast<const SnapshotImpl*>(options.snapshot)->timestamp();
@@ -391,7 +454,8 @@ Iterator* ClsmDb::NewIterator(const ReadOptions& options) {
   Iterator* internal =
       NewMergingIterator(engine_.icmp(), children.data(), static_cast<int>(children.size()));
   internal->RegisterCleanup(&CleanupIterState, state, nullptr);
-  return NewDBIterator(engine_.icmp()->user_comparator(), internal, seq);
+  return NewLatencyRecordingIterator(NewDBIterator(engine_.icmp()->user_comparator(), internal, seq),
+                                     metrics_on_ ? &registry_ : nullptr);
 }
 
 const Snapshot* ClsmDb::GetSnapshot() {
@@ -441,6 +505,7 @@ Status ClsmDb::ReadModifyWrite(const WriteOptions& options, const Slice& key,
   if (performed != nullptr) {
     *performed = false;
   }
+  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kRmw);
   stats_.Bump(stats_.rmw_total);
   Status throttle_status = ThrottleIfNeeded();
   if (!throttle_status.ok()) {
@@ -536,6 +601,7 @@ void ClsmDb::RollMemTable() {
   lock_.UnlockExclusive();
 
   imm_logger_.reset(old_logger);
+  engine_.listeners().NotifyMemtableRoll(old_mem->ApproximateMemoryUsage());
 }
 
 void ClsmDb::FlushImmutable() {
@@ -654,6 +720,16 @@ std::string ClsmDb::GetProperty(const Slice& property) {
     stats_.compactions.store(engine_.compaction_stats()->TotalCompactions(),
                              std::memory_order_relaxed);
     return stats_.ToString() + engine_.compaction_stats()->ToString();
+  }
+  if (property == Slice("clsm.stats.json")) {
+    stats_.compactions.store(engine_.compaction_stats()->TotalCompactions(),
+                             std::memory_order_relaxed);
+    StatsJsonSource src;
+    src.db = Name();
+    src.counters = &stats_;
+    src.registry = &registry_;
+    src.engine = &engine_;
+    return BuildStatsJson(src);
   }
   if (property == Slice("clsm.stall-micros")) {
     return std::to_string(stats_.TotalStallMicros());

@@ -25,6 +25,8 @@
 #include "src/core/stats.h"
 #include "src/core/write_batch.h"
 #include "src/lsm/storage_engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/stats_reporter.h"
 #include "src/sync/active_set.h"
 #include "src/sync/shared_exclusive_lock.h"
 #include "src/sync/time_counter.h"
@@ -132,6 +134,11 @@ class ClsmDb final : public DB {
   std::thread maintenance_thread_;
 
   DbStats stats_;
+  StatsRegistry registry_;
+  // Cached Options::latency_metrics: when false, op paths skip every clock
+  // read (the <5%-overhead escape hatch).
+  bool metrics_on_ = true;
+  std::unique_ptr<StatsReporter> reporter_;
 };
 
 }  // namespace clsm

@@ -25,6 +25,15 @@ std::string CompactionStats::ToString() const {
   if (out.empty()) {
     out = "compact: none\n";
   }
+  const uint64_t flushes = flush_count.load(std::memory_order_relaxed);
+  if (flushes > 0) {
+    std::snprintf(buf, sizeof(buf), "flush: count=%llu written=%llu micros=%llu write_amp=%.2f\n",
+                  static_cast<unsigned long long>(flushes),
+                  static_cast<unsigned long long>(flush_bytes_written.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(flush_micros.load(std::memory_order_relaxed)),
+                  EstimatedWriteAmp());
+    out.append(buf);
+  }
   return out;
 }
 

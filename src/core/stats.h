@@ -5,6 +5,7 @@
 #define CLSM_CORE_STATS_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -25,8 +26,8 @@ class CompactionStats {
     std::atomic<uint64_t> micros{0};         // wall time spent compacting
   };
 
-  LevelStats& level(int l) { return levels_[l]; }
-  const LevelStats& level(int l) const { return levels_[l]; }
+  LevelStats& level(int l) { return levels_[CheckLevel(l)]; }
+  const LevelStats& level(int l) const { return levels_[CheckLevel(l)]; }
 
   uint64_t TotalCompactions() const {
     uint64_t n = 0;
@@ -36,10 +37,44 @@ class CompactionStats {
     return n;
   }
 
+  uint64_t TotalBytesWritten() const {
+    uint64_t n = 0;
+    for (const LevelStats& ls : levels_) {
+      n += ls.bytes_written.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  // --- flush (C'm -> level 0) accounting, kept here so write-amplification
+  // (flush + compaction writes vs flushed user bytes) derives from one
+  // struct ---
+  std::atomic<uint64_t> flush_count{0};
+  std::atomic<uint64_t> flush_bytes_written{0};  // level-0 output bytes
+  std::atomic<uint64_t> flush_micros{0};
+
+  // (flush + compaction bytes written) / flushed bytes; 0 until the first
+  // flush lands. The classic estimate of how many times the store rewrites
+  // each ingested byte.
+  double EstimatedWriteAmp() const {
+    const uint64_t flushed = flush_bytes_written.load(std::memory_order_relaxed);
+    if (flushed == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(flushed + TotalBytesWritten()) / static_cast<double>(flushed);
+  }
+
   // Multi-line per-level dump (levels with no activity are omitted).
   std::string ToString() const;
 
  private:
+  // An out-of-range level would silently corrupt the adjacent counters;
+  // assert in debug builds and clamp to the deepest slot in release so the
+  // damage is at worst a misattributed count.
+  static int CheckLevel(int l) {
+    assert(l >= 0 && l < kMaxLevels);
+    return l < 0 ? 0 : (l >= kMaxLevels ? kMaxLevels - 1 : l);
+  }
+
   LevelStats levels_[kMaxLevels];
 };
 

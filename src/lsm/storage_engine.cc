@@ -46,7 +46,8 @@ StorageEngine::StorageEngine(const Options& options, const std::string& dbname)
     : options_(options),
       dbname_(dbname),
       env_(options.env != nullptr ? options.env : Env::Default()),
-      icmp_(options.comparator != nullptr ? options.comparator : BytewiseComparator()) {
+      icmp_(options.comparator != nullptr ? options.comparator : BytewiseComparator()),
+      listeners_(options.listeners) {
   options_.env = env_;
   options_.comparator = icmp_.user_comparator();
   if (options_.bloom_bits_per_key > 0) {
@@ -355,21 +356,37 @@ Status StorageEngine::BuildTable(Iterator* iter, FileMetaData* meta) {
 }
 
 Status StorageEngine::FlushMemTable(MemTable* mem, uint64_t log_number) {
+  FlushJobInfo info;
+  info.memtable_entries = mem->NumEntries();
+  info.memtable_bytes = mem->ApproximateMemoryUsage();
+  listeners_.NotifyFlushBegin(info);
+  const uint64_t t0 = MonotonicNanos();
+
   FileMetaData meta;
   meta.number = versions_->NewFileNumber();
   std::unique_ptr<Iterator> iter(mem->NewIterator());
 
   Status s = BuildTable(iter.get(), &meta);
-  if (!s.ok()) {
-    return s;
+  if (s.ok()) {
+    VersionEdit edit;
+    if (meta.file_size > 0) {
+      edit.AddFile(0, meta.number, meta.file_size, meta.smallest, meta.largest);
+    }
+    edit.SetLogNumber(log_number);
+    s = versions_->LogAndApply(&edit);
   }
 
-  VersionEdit edit;
-  if (meta.file_size > 0) {
-    edit.AddFile(0, meta.number, meta.file_size, meta.smallest, meta.largest);
+  const uint64_t nanos = MonotonicNanos() - t0;
+  compaction_stats_.flush_count.fetch_add(1, std::memory_order_relaxed);
+  compaction_stats_.flush_bytes_written.fetch_add(meta.file_size, std::memory_order_relaxed);
+  compaction_stats_.flush_micros.fetch_add(nanos / 1000, std::memory_order_relaxed);
+  if (registry_ != nullptr) {
+    registry_->Record(OpMetric::kFlush, nanos);
   }
-  edit.SetLogNumber(log_number);
-  return versions_->LogAndApply(&edit);
+  info.output_file_size = meta.file_size;
+  info.micros = nanos / 1000;
+  listeners_.NotifyFlushEnd(info);
+  return s;
 }
 
 Status StorageEngine::CommitLogRotation(uint64_t log_number) {
@@ -390,8 +407,14 @@ Status StorageEngine::CompactOnce(SequenceNumber smallest_snapshot, bool* did_wo
 
 Status StorageEngine::RunCompaction(Compaction* c, SequenceNumber smallest_snapshot) {
   CompactionStats::LevelStats& stats = compaction_stats_.level(c->level());
-  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t t0 = MonotonicNanos();
   stats.compactions.fetch_add(1, std::memory_order_relaxed);
+
+  CompactionJobInfo info;
+  info.level = c->level();
+  info.trivial_move = c->IsTrivialMove();
+  info.bytes_read = info.trivial_move ? 0 : static_cast<uint64_t>(c->TotalInputBytes());
+  listeners_.NotifyCompactionBegin(info);
 
   Status s;
   if (c->IsTrivialMove()) {
@@ -404,16 +427,19 @@ Status StorageEngine::RunCompaction(Compaction* c, SequenceNumber smallest_snaps
     s = versions_->LogAndApply(c->edit());
   } else {
     uint64_t bytes_written = 0;
-    stats.bytes_read.fetch_add(static_cast<uint64_t>(c->TotalInputBytes()),
-                               std::memory_order_relaxed);
+    stats.bytes_read.fetch_add(info.bytes_read, std::memory_order_relaxed);
     s = DoCompactionWork(c, smallest_snapshot, &bytes_written);
     stats.bytes_written.fetch_add(bytes_written, std::memory_order_relaxed);
+    info.bytes_written = bytes_written;
   }
 
-  const auto t1 = std::chrono::steady_clock::now();
-  stats.micros.fetch_add(
-      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count(),
-      std::memory_order_relaxed);
+  const uint64_t nanos = MonotonicNanos() - t0;
+  stats.micros.fetch_add(nanos / 1000, std::memory_order_relaxed);
+  if (registry_ != nullptr) {
+    registry_->Record(OpMetric::kCompaction, nanos);
+  }
+  info.micros = nanos / 1000;
+  listeners_.NotifyCompactionEnd(info);
   return s;
 }
 
@@ -558,6 +584,13 @@ Status StorageEngine::NewLog(uint64_t* log_number, std::unique_ptr<AsyncLogger>*
     return s;
   }
   *logger = std::make_unique<AsyncLogger>(std::move(file));
+  if (!listeners_.empty()) {
+    // Safe: set before the logger is published to writers, and the engine
+    // (hence listeners_) outlives every WAL it hands out.
+    (*logger)->set_sync_hook([this](uint64_t records, uint64_t micros) {
+      listeners_.NotifyWalSync(WalSyncInfo{records, micros});
+    });
+  }
   return Status::OK();
 }
 

@@ -27,6 +27,8 @@
 #include "src/lsm/dbformat.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/version_set.h"
+#include "src/obs/event_listener.h"
+#include "src/obs/metrics.h"
 #include "src/sync/ref_guard.h"
 #include "src/wal/async_logger.h"
 
@@ -119,6 +121,15 @@ class StorageEngine {
   // Per-level compaction accounting (bytes read/written, job counts, time).
   CompactionStats* compaction_stats() { return &compaction_stats_; }
 
+  // Event-listener fan-out (built from Options::listeners). The owning DB
+  // also dispatches its own events (rolls, stalls) through this set.
+  const ListenerSet& listeners() const { return listeners_; }
+
+  // Attach the owning DB's latency registry so the engine records its
+  // internal phases (flush, compaction) there. Must be set before
+  // background work starts; null (default) disables phase recording.
+  void SetStatsRegistry(StatsRegistry* registry) { registry_ = registry; }
+
   // Creates a fresh WAL (<number>.log) with an asynchronous group logger.
   Status NewLog(uint64_t* log_number, std::unique_ptr<AsyncLogger>* logger);
 
@@ -158,6 +169,10 @@ class StorageEngine {
   std::unique_ptr<TableCache> table_cache_;
   EpochManager epochs_;
   std::unique_ptr<VersionSet> versions_;
+
+  // Observability: listener fan-out + (optional) owning DB's registry.
+  ListenerSet listeners_;
+  StatsRegistry* registry_ = nullptr;
 
   // Compaction scheduler state.
   CompactionStats compaction_stats_;

@@ -494,6 +494,11 @@ int64_t VersionSet::NumLevelBytes(int level) const {
   return current_.load(std::memory_order_acquire)->NumBytes(level);
 }
 
+double VersionSet::LevelScore(int level) const {
+  EpochGuard guard(*epochs_);
+  return current_.load(std::memory_order_acquire)->level_scores_[level];
+}
+
 Status VersionSet::LogAndApply(VersionEdit* edit) {
   std::lock_guard<std::mutex> apply_lock(apply_mutex_);
   if (edit->has_log_number_) {

@@ -150,6 +150,9 @@ class VersionSet {
   bool NeedsCompaction() const;
   int NumLevelFiles(int level) const;
   int64_t NumLevelBytes(int level) const;
+  // Compaction-pressure score of level (>= 1 means compaction needed); the
+  // per-level gauge exported in "clsm.stats.json".
+  double LevelScore(int level) const;
 
   void AddLiveFiles(std::set<uint64_t>* live);
 

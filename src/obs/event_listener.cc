@@ -1,0 +1,65 @@
+#include "src/obs/event_listener.h"
+
+namespace clsm {
+
+const char* StallReasonName(StallReason r) {
+  switch (r) {
+    case StallReason::kMemtableFull:
+      return "memtable_full";
+    case StallReason::kL0Stop:
+      return "l0_stop";
+    case StallReason::kL0Slowdown:
+      return "l0_slowdown";
+  }
+  return "unknown";
+}
+
+void ListenerSet::NotifyMemtableRoll(uint64_t memtable_bytes) const {
+  for (const auto& l : listeners_) {
+    l->OnMemtableRoll(memtable_bytes);
+  }
+}
+
+void ListenerSet::NotifyFlushBegin(const FlushJobInfo& info) const {
+  for (const auto& l : listeners_) {
+    l->OnFlushBegin(info);
+  }
+}
+
+void ListenerSet::NotifyFlushEnd(const FlushJobInfo& info) const {
+  for (const auto& l : listeners_) {
+    l->OnFlushEnd(info);
+  }
+}
+
+void ListenerSet::NotifyCompactionBegin(const CompactionJobInfo& info) const {
+  for (const auto& l : listeners_) {
+    l->OnCompactionBegin(info);
+  }
+}
+
+void ListenerSet::NotifyCompactionEnd(const CompactionJobInfo& info) const {
+  for (const auto& l : listeners_) {
+    l->OnCompactionEnd(info);
+  }
+}
+
+void ListenerSet::NotifyStallBegin(StallReason reason) const {
+  for (const auto& l : listeners_) {
+    l->OnStallBegin(reason);
+  }
+}
+
+void ListenerSet::NotifyStallEnd(StallReason reason, uint64_t micros) const {
+  for (const auto& l : listeners_) {
+    l->OnStallEnd(reason, micros);
+  }
+}
+
+void ListenerSet::NotifyWalSync(const WalSyncInfo& info) const {
+  for (const auto& l : listeners_) {
+    l->OnWalSync(info);
+  }
+}
+
+}  // namespace clsm

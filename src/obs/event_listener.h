@@ -1,0 +1,97 @@
+// EventListener: user-registerable hooks for internal lifecycle events
+// (memtable roll, flush, compaction, write stall, WAL sync), registered via
+// Options::listeners and invoked from ClsmDb, the baselines' shared
+// chassis, StorageEngine and the asynchronous WAL logger.
+//
+// Listener contract (see DESIGN.md "Observability"):
+//  * hooks are invoked synchronously on internal threads (maintenance,
+//    compaction workers, the WAL logger, or a stalled writer) — they MUST
+//    be non-blocking (no IO, no lock that a DB operation can hold) and
+//    MUST NOT throw;
+//  * hooks may fire concurrently from different threads; the listener
+//    synchronizes its own state;
+//  * hooks must not call back into the DB.
+#ifndef CLSM_OBS_EVENT_LISTENER_H_
+#define CLSM_OBS_EVENT_LISTENER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace clsm {
+
+struct FlushJobInfo {
+  uint64_t memtable_entries = 0;   // entries in the flushed component
+  uint64_t memtable_bytes = 0;     // its approximate arena footprint
+  uint64_t output_file_size = 0;   // level-0 table bytes (End only)
+  uint64_t micros = 0;             // wall time of the merge (End only)
+};
+
+struct CompactionJobInfo {
+  int level = 0;         // input level (outputs land on level + 1)
+  bool trivial_move = false;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;  // End only
+  uint64_t micros = 0;         // End only
+};
+
+enum class StallReason : int {
+  kMemtableFull = 0,  // Cm full while C'm is still merging
+  kL0Stop,            // level 0 past the stop trigger
+  kL0Slowdown,        // bounded slowdown delay
+};
+const char* StallReasonName(StallReason r);
+
+struct WalSyncInfo {
+  uint64_t records = 0;  // records written to this WAL so far
+  uint64_t micros = 0;   // duration of the fsync
+};
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  // Cm was sealed into C'm and a fresh Cm installed (beforeMerge).
+  virtual void OnMemtableRoll(uint64_t memtable_bytes) {}
+
+  virtual void OnFlushBegin(const FlushJobInfo& info) {}
+  virtual void OnFlushEnd(const FlushJobInfo& info) {}
+
+  virtual void OnCompactionBegin(const CompactionJobInfo& info) {}
+  virtual void OnCompactionEnd(const CompactionJobInfo& info) {}
+
+  // A writer entered/left a backpressure wait. Begin/End pair on the
+  // stalled writer's thread.
+  virtual void OnStallBegin(StallReason reason) {}
+  virtual void OnStallEnd(StallReason reason, uint64_t micros) {}
+
+  // The WAL logger durably synced its file.
+  virtual void OnWalSync(const WalSyncInfo& info) {}
+};
+
+// Fan-out dispatcher owned by each DB instance; empty-set dispatch is a
+// single vector-empty check so unobserved stores pay nothing.
+class ListenerSet {
+ public:
+  ListenerSet() = default;
+  explicit ListenerSet(std::vector<std::shared_ptr<EventListener>> listeners)
+      : listeners_(std::move(listeners)) {}
+
+  bool empty() const { return listeners_.empty(); }
+
+  void NotifyMemtableRoll(uint64_t memtable_bytes) const;
+  void NotifyFlushBegin(const FlushJobInfo& info) const;
+  void NotifyFlushEnd(const FlushJobInfo& info) const;
+  void NotifyCompactionBegin(const CompactionJobInfo& info) const;
+  void NotifyCompactionEnd(const CompactionJobInfo& info) const;
+  void NotifyStallBegin(StallReason reason) const;
+  void NotifyStallEnd(StallReason reason, uint64_t micros) const;
+  void NotifyWalSync(const WalSyncInfo& info) const;
+
+ private:
+  std::vector<std::shared_ptr<EventListener>> listeners_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_OBS_EVENT_LISTENER_H_

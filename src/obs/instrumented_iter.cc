@@ -1,0 +1,42 @@
+#include "src/obs/instrumented_iter.h"
+
+#include <memory>
+
+namespace clsm {
+
+namespace {
+
+class LatencyRecordingIterator final : public Iterator {
+ public:
+  LatencyRecordingIterator(Iterator* base, StatsRegistry* registry)
+      : base_(base), registry_(registry) {}
+
+  bool Valid() const override { return base_->Valid(); }
+  void SeekToFirst() override { base_->SeekToFirst(); }
+  void SeekToLast() override { base_->SeekToLast(); }
+  void Seek(const Slice& target) override { base_->Seek(target); }
+  void Next() override {
+    const uint64_t t0 = LatencyClock::Ticks();
+    base_->Next();
+    registry_->Record(OpMetric::kIterNext, LatencyClock::ToNanos(LatencyClock::Ticks() - t0));
+  }
+  void Prev() override { base_->Prev(); }
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  std::unique_ptr<Iterator> base_;
+  StatsRegistry* registry_;
+};
+
+}  // namespace
+
+Iterator* NewLatencyRecordingIterator(Iterator* base, StatsRegistry* registry) {
+  if (registry == nullptr) {
+    return base;
+  }
+  return new LatencyRecordingIterator(base, registry);
+}
+
+}  // namespace clsm

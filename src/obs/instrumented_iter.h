@@ -1,0 +1,17 @@
+// Wrapper iterator that records the latency of every Next() into a
+// StatsRegistry (OpMetric::kIterNext). Applied by the DB front-ends at
+// NewIterator time so the per-op latency export covers scans too.
+#ifndef CLSM_OBS_INSTRUMENTED_ITER_H_
+#define CLSM_OBS_INSTRUMENTED_ITER_H_
+
+#include "src/obs/metrics.h"
+#include "src/table/iterator.h"
+
+namespace clsm {
+
+// Takes ownership of base. Returns base unchanged when registry is null.
+Iterator* NewLatencyRecordingIterator(Iterator* base, StatsRegistry* registry);
+
+}  // namespace clsm
+
+#endif  // CLSM_OBS_INSTRUMENTED_ITER_H_

@@ -1,0 +1,114 @@
+#include "src/obs/metrics.h"
+
+#include <functional>
+#include <thread>
+
+namespace clsm {
+
+const char* OpMetricName(OpMetric m) {
+  switch (m) {
+    case OpMetric::kPut:
+      return "put";
+    case OpMetric::kGet:
+      return "get";
+    case OpMetric::kDelete:
+      return "delete";
+    case OpMetric::kRmw:
+      return "rmw";
+    case OpMetric::kIterNext:
+      return "iter_next";
+    case OpMetric::kWalAppend:
+      return "wal_append";
+    case OpMetric::kMemInsert:
+      return "mem_insert";
+    case OpMetric::kRollWait:
+      return "roll_wait";
+    case OpMetric::kFlush:
+      return "flush";
+    case OpMetric::kCompaction:
+      return "compaction";
+  }
+  return "unknown";
+}
+
+#ifdef CLSM_HAVE_RDTSC
+double LatencyClock::NanosPerTick() {
+  // Calibrated once per process against steady_clock over a ~200us spin
+  // (sub-0.1% error; the TSC is invariant on x86-64). Thread-safe magic
+  // static; the winner pays the spin, everyone else a guard-acquire load.
+  static const double scale = [] {
+    const uint64_t t0 = __rdtsc();
+    const auto c0 = std::chrono::steady_clock::now();
+    std::chrono::steady_clock::time_point c1;
+    do {
+      c1 = std::chrono::steady_clock::now();
+    } while (c1 - c0 < std::chrono::microseconds(200));
+    const uint64_t t1 = __rdtsc();
+    const double nanos =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(c1 - c0).count());
+    return t1 > t0 ? nanos / static_cast<double>(t1 - t0) : 1.0;
+  }();
+  return scale;
+}
+#endif
+
+int StatsRegistry::ShardIndex() {
+  // Hash of the thread id, computed once per thread. Distinct threads may
+  // collide on a shard — the counters stay correct, only contention rises.
+  thread_local const int shard =
+      static_cast<int>(std::hash<std::thread::id>()(std::this_thread::get_id()) % kNumShards);
+  return shard;
+}
+
+uint64_t StatsRegistry::Count(OpMetric op) const {
+  uint64_t n = 0;
+  for (const Shard& s : shards_) {
+    n += s.hists[static_cast<int>(op)].count.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void StatsRegistry::AggregateInto(OpMetric op, Histogram* out) const {
+  uint64_t counts[Histogram::kNumBuckets];
+  for (const Shard& s : shards_) {
+    const ShardHist& h = s.hists[static_cast<int>(op)];
+    const uint64_t num = h.count.load(std::memory_order_relaxed);
+    if (num == 0) {
+      continue;
+    }
+    // min/max are recovered from the occupied bucket range (exact to
+    // bucket width): the hot path records no per-sample extremes.
+    int lo = -1, hi = -1;
+    for (int b = 0; b < Histogram::kNumBuckets; b++) {
+      counts[b] = h.buckets[b].load(std::memory_order_relaxed);
+      if (counts[b] != 0) {
+        if (lo < 0) {
+          lo = b;
+        }
+        hi = b;
+      }
+    }
+    if (lo < 0) {
+      continue;  // counts raced to zero; nothing to merge
+    }
+    const double min = lo > 0 ? Histogram::BucketLimit(lo - 1) : 0.0;
+    const double max = Histogram::BucketLimit(hi);
+    out->MergeBucketCounts(counts, num,
+                           static_cast<double>(h.sum_nanos.load(std::memory_order_relaxed)), min,
+                           max);
+  }
+}
+
+void StatsRegistry::Reset() {
+  for (Shard& s : shards_) {
+    for (ShardHist& h : s.hists) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum_nanos.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) {
+        b.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace clsm

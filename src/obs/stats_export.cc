@@ -1,0 +1,176 @@
+#include "src/obs/stats_export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/core/stats.h"
+#include "src/lsm/storage_engine.h"
+#include "src/obs/metrics.h"
+#include "src/util/histogram.h"
+
+namespace clsm {
+
+namespace {
+
+// Minimal append-only JSON builder (keys and names here are all
+// JSON-safe literals, so no string escaping is needed).
+class JsonOut {
+ public:
+  void U64(const char* key, uint64_t v) {
+    Comma();
+    Appendf("\"%s\":%" PRIu64, key, v);
+  }
+  void I64(const char* key, int64_t v) {
+    Comma();
+    Appendf("\"%s\":%" PRId64, key, v);
+  }
+  void F64(const char* key, double v) {
+    Comma();
+    Appendf("\"%s\":%.3f", key, v);
+  }
+  void Str(const char* key, const char* v) {
+    Comma();
+    Appendf("\"%s\":\"%s\"", key, v);
+  }
+  void BeginObject(const char* key = nullptr) {
+    Comma();
+    if (key != nullptr) {
+      Appendf("\"%s\":", key);
+    }
+    out_ += '{';
+    fresh_ = true;
+  }
+  void EndObject() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void BeginArray(const char* key) {
+    Comma();
+    Appendf("\"%s\":", key);
+    out_ += '[';
+    fresh_ = true;
+  }
+  void EndArray() {
+    out_ += ']';
+    fresh_ = false;
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Comma() {
+    if (!fresh_ && !out_.empty()) {
+      out_ += ',';
+    }
+    fresh_ = false;
+  }
+  void Appendf(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    char buf[128];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out_ += buf;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+void EmitCounters(JsonOut& j, const DbStats& s) {
+  j.BeginObject("counters");
+  j.U64("gets_total", s.gets_total.load(std::memory_order_relaxed));
+  j.U64("gets_from_mem", s.gets_from_mem.load(std::memory_order_relaxed));
+  j.U64("gets_from_imm", s.gets_from_imm.load(std::memory_order_relaxed));
+  j.U64("gets_from_disk", s.gets_from_disk.load(std::memory_order_relaxed));
+  j.U64("puts_total", s.puts_total.load(std::memory_order_relaxed));
+  j.U64("deletes_total", s.deletes_total.load(std::memory_order_relaxed));
+  j.U64("batches_total", s.batches_total.load(std::memory_order_relaxed));
+  j.U64("rmw_total", s.rmw_total.load(std::memory_order_relaxed));
+  j.U64("rmw_conflicts", s.rmw_conflicts.load(std::memory_order_relaxed));
+  j.U64("rmw_noop", s.rmw_noop.load(std::memory_order_relaxed));
+  j.U64("snapshots_acquired", s.snapshots_acquired.load(std::memory_order_relaxed));
+  j.U64("iterators_created", s.iterators_created.load(std::memory_order_relaxed));
+  j.U64("getts_rollbacks", s.getts_rollbacks.load(std::memory_order_relaxed));
+  j.U64("memtable_rolls", s.memtable_rolls.load(std::memory_order_relaxed));
+  j.U64("flushes", s.flushes.load(std::memory_order_relaxed));
+  j.U64("compactions", s.compactions.load(std::memory_order_relaxed));
+  j.U64("throttle_waits", s.throttle_waits.load(std::memory_order_relaxed));
+  j.U64("slowdown_waits", s.slowdown_waits.load(std::memory_order_relaxed));
+  j.EndObject();
+}
+
+void EmitLatencies(JsonOut& j, const StatsRegistry& registry) {
+  j.BeginObject("latency_us");
+  for (int m = 0; m < kNumOpMetrics; m++) {
+    const OpMetric op = static_cast<OpMetric>(m);
+    Histogram h;  // nanosecond domain; render as microseconds
+    registry.AggregateInto(op, &h);
+    j.BeginObject(OpMetricName(op));
+    j.U64("count", static_cast<uint64_t>(h.Num()));
+    if (h.Num() > 0) {
+      j.F64("avg", h.Average() / 1000.0);
+      j.F64("p50", h.Percentile(50) / 1000.0);
+      j.F64("p95", h.Percentile(95) / 1000.0);
+      j.F64("p99", h.Percentile(99) / 1000.0);
+      j.F64("p999", h.Percentile(99.9) / 1000.0);
+      j.F64("max", h.Max() / 1000.0);
+    }
+    j.EndObject();
+  }
+  j.EndObject();
+}
+
+void EmitLevels(JsonOut& j, StorageEngine& engine) {
+  const CompactionStats& cstats = *engine.compaction_stats();
+  VersionSet* versions = engine.versions();
+  j.BeginArray("levels");
+  for (int l = 0; l < kNumLevels; l++) {
+    const CompactionStats::LevelStats& ls = cstats.level(l);
+    j.BeginObject();
+    j.I64("level", l);
+    j.I64("files", versions->NumLevelFiles(l));
+    j.I64("bytes", versions->NumLevelBytes(l));
+    j.F64("score", versions->LevelScore(l));
+    j.U64("compactions", ls.compactions.load(std::memory_order_relaxed));
+    j.U64("trivial_moves", ls.trivial_moves.load(std::memory_order_relaxed));
+    j.U64("bytes_read", ls.bytes_read.load(std::memory_order_relaxed));
+    j.U64("bytes_written", ls.bytes_written.load(std::memory_order_relaxed));
+    j.U64("micros", ls.micros.load(std::memory_order_relaxed));
+    j.EndObject();
+  }
+  j.EndArray();
+  j.BeginObject("flush");
+  j.U64("count", cstats.flush_count.load(std::memory_order_relaxed));
+  j.U64("bytes_written", cstats.flush_bytes_written.load(std::memory_order_relaxed));
+  j.U64("micros", cstats.flush_micros.load(std::memory_order_relaxed));
+  j.EndObject();
+  j.F64("write_amp", cstats.EstimatedWriteAmp());
+}
+
+}  // namespace
+
+std::string BuildStatsJson(const StatsJsonSource& src) {
+  JsonOut j;
+  j.BeginObject();
+  j.Str("db", src.db);
+  if (src.counters != nullptr) {
+    EmitCounters(j, *src.counters);
+    j.BeginObject("stall");
+    j.U64("slowdown_waits", src.counters->slowdown_waits.load(std::memory_order_relaxed));
+    j.U64("slowdown_micros", src.counters->slowdown_micros.load(std::memory_order_relaxed));
+    j.U64("stall_micros", src.counters->stall_micros.load(std::memory_order_relaxed));
+    j.EndObject();
+  }
+  if (src.registry != nullptr) {
+    EmitLatencies(j, *src.registry);
+  }
+  if (src.engine != nullptr) {
+    EmitLevels(j, *src.engine);
+  }
+  j.EndObject();
+  return j.Take();
+}
+
+}  // namespace clsm

@@ -1,0 +1,39 @@
+// Structured JSON stats export: one code path renders the machine-readable
+// snapshot behind GetProperty("clsm.stats.json") for ClsmDb AND the
+// baseline variants, so benchmark comparisons consume identical schemas.
+// Schema documented in docs/TESTING.md ("Bench result JSON").
+#ifndef CLSM_OBS_STATS_EXPORT_H_
+#define CLSM_OBS_STATS_EXPORT_H_
+
+#include <string>
+
+namespace clsm {
+
+class DbStats;
+class StatsRegistry;
+class StorageEngine;
+
+struct StatsJsonSource {
+  const char* db = "?";                  // variant name (DB::Name())
+  const DbStats* counters = nullptr;     // operation counters (required)
+  const StatsRegistry* registry = nullptr;  // latency histograms (optional)
+  StorageEngine* engine = nullptr;       // per-level gauges + compaction stats
+};
+
+// Renders the full snapshot:
+// {
+//   "db": "clsm",
+//   "counters": { "puts_total": N, ... },            // every DbStats field
+//   "latency_us": { "put": {"count":N,"avg":..,"p50":..,"p95":..,"p99":..,
+//                           "p999":..,"max":..}, ... },
+//   "levels": [ {"level":0,"files":N,"bytes":N,"score":S,"compactions":N,
+//                "bytes_read":N,"bytes_written":N,"micros":N}, ... ],
+//   "flush": {"count":N,"bytes_written":N,"micros":N},
+//   "write_amp": W,
+//   "stall": {"slowdown_waits":N,"slowdown_micros":N,"stall_micros":N}
+// }
+std::string BuildStatsJson(const StatsJsonSource& src);
+
+}  // namespace clsm
+
+#endif  // CLSM_OBS_STATS_EXPORT_H_

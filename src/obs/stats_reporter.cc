@@ -1,0 +1,63 @@
+#include "src/obs/stats_reporter.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace clsm {
+
+StatsReporter::StatsReporter(std::string tag, unsigned period_sec,
+                             std::function<ReporterCounters()> counters_fn,
+                             std::function<std::string()> json_fn)
+    : tag_(std::move(tag)),
+      period_sec_(period_sec),
+      counters_fn_(std::move(counters_fn)),
+      json_fn_(std::move(json_fn)),
+      thread_([this] { Loop(); }) {}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void StatsReporter::Loop() {
+  ReporterCounters prev = counters_fn_();
+  auto prev_time = std::chrono::steady_clock::now();
+  while (true) {
+    {
+      std::unique_lock<std::mutex> l(mutex_);
+      if (cv_.wait_for(l, std::chrono::seconds(period_sec_), [this] { return stop_; })) {
+        return;
+      }
+    }
+    const ReporterCounters cur = counters_fn_();
+    const auto now = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(now - prev_time).count();
+    std::fprintf(stderr,
+                 "[stats:%s] interval=%.1fs writes+%llu gets+%llu flushes+%llu "
+                 "compactions+%llu stall+%.1fms\n%s\n",
+                 tag_.c_str(), secs,
+                 static_cast<unsigned long long>(cur.writes - prev.writes),
+                 static_cast<unsigned long long>(cur.gets - prev.gets),
+                 static_cast<unsigned long long>(cur.flushes - prev.flushes),
+                 static_cast<unsigned long long>(cur.compactions - prev.compactions),
+                 (cur.stall_micros - prev.stall_micros) / 1000.0, json_fn_().c_str());
+    std::fflush(stderr);
+    prev = cur;
+    prev_time = now;
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace clsm

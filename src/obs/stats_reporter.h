@@ -1,0 +1,64 @@
+// StatsReporter: background thread that periodically logs a one-line
+// interval delta summary plus the full structured JSON snapshot
+// ("clsm.stats.json") to stderr. Enabled by Options::stats_dump_period_sec
+// (0 = off, the default). The paper's instability modes — write stalls,
+// compaction debt — are only visible as *time series*; this is the
+// poor-man's time series for operators without a scrape pipeline.
+#ifndef CLSM_OBS_STATS_REPORTER_H_
+#define CLSM_OBS_STATS_REPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace clsm {
+
+// Small counter sample the reporter diffs between ticks.
+struct ReporterCounters {
+  uint64_t writes = 0;       // puts + deletes
+  uint64_t gets = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t stall_micros = 0;  // slowdown + hard-stop time
+};
+
+class StatsReporter {
+ public:
+  // tag: printed on every line (the variant name). counters_fn samples the
+  // live counters; json_fn renders the full snapshot. Both run on the
+  // reporter thread and must stay valid until Stop()/destruction.
+  StatsReporter(std::string tag, unsigned period_sec,
+                std::function<ReporterCounters()> counters_fn,
+                std::function<std::string()> json_fn);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  // Joins the thread; idempotent. Call before tearing down anything the
+  // callbacks read.
+  void Stop();
+
+  uint64_t NumDumps() const { return dumps_; }
+
+ private:
+  void Loop();
+
+  const std::string tag_;
+  const unsigned period_sec_;
+  const std::function<ReporterCounters()> counters_fn_;
+  const std::function<std::string()> json_fn_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<uint64_t> dumps_{0};
+  std::thread thread_;
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_OBS_STATS_REPORTER_H_

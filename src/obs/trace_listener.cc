@@ -1,0 +1,111 @@
+#include "src/obs/trace_listener.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace clsm {
+
+namespace {
+uint64_t ThreadTid() {
+  thread_local const uint64_t tid =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) & 0xffffff;
+  return tid;
+}
+}  // namespace
+
+TraceEventListener::TraceEventListener(size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceEventListener::Push(char phase, const char* name, int level, uint64_t arg) {
+  Event e{phase, name, MonotonicNanos() / 1000, ThreadTid(), level, arg};
+  std::lock_guard<std::mutex> l(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[recorded_ % capacity_] = e;
+  }
+  recorded_++;
+}
+
+void TraceEventListener::OnMemtableRoll(uint64_t memtable_bytes) {
+  Push('i', "memtable_roll", -1, memtable_bytes);
+}
+
+void TraceEventListener::OnFlushBegin(const FlushJobInfo& info) {
+  Push('B', "flush", 0, info.memtable_bytes);
+}
+
+void TraceEventListener::OnFlushEnd(const FlushJobInfo& info) {
+  Push('E', "flush", 0, info.output_file_size);
+}
+
+void TraceEventListener::OnCompactionBegin(const CompactionJobInfo& info) {
+  Push('B', "compact", info.level, info.bytes_read);
+}
+
+void TraceEventListener::OnCompactionEnd(const CompactionJobInfo& info) {
+  Push('E', "compact", info.level, info.bytes_written);
+}
+
+void TraceEventListener::OnStallBegin(StallReason reason) {
+  Push('B', StallReasonName(reason), -1, 0);
+}
+
+void TraceEventListener::OnStallEnd(StallReason reason, uint64_t micros) {
+  Push('E', StallReasonName(reason), -1, micros);
+}
+
+void TraceEventListener::OnWalSync(const WalSyncInfo& info) {
+  Push('i', "wal_sync", -1, info.micros);
+}
+
+size_t TraceEventListener::NumRetained() const {
+  std::lock_guard<std::mutex> l(mutex_);
+  return ring_.size();
+}
+
+uint64_t TraceEventListener::NumRecorded() const {
+  std::lock_guard<std::mutex> l(mutex_);
+  return recorded_;
+}
+
+std::string TraceEventListener::DumpChromeTrace() const {
+  std::vector<Event> events;
+  uint64_t recorded;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    recorded = recorded_;
+    if (ring_.size() < capacity_) {
+      events = ring_;
+    } else {
+      // Unroll the ring oldest-first.
+      const size_t head = recorded_ % capacity_;
+      events.insert(events.end(), ring_.begin() + head, ring_.end());
+      events.insert(events.end(), ring_.begin(), ring_.begin() + head);
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); i++) {
+    const Event& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"clsm\",\"ph\":\"%c\",\"pid\":1,"
+                  "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 ",\"args\":{\"level\":%d,\"arg\":%" PRIu64
+                  "}%s}",
+                  i == 0 ? "" : ",", e.name, e.phase, e.tid, e.ts_micros, e.level, e.arg,
+                  e.phase == 'i' ? ",\"s\":\"g\"" : "");
+    out.append(buf);
+  }
+  out.append("],\"otherData\":{\"dropped_events\":");
+  out.append(std::to_string(recorded > events.size() ? recorded - events.size() : 0));
+  out.append("}}");
+  return out;
+}
+
+}  // namespace clsm

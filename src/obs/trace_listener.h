@@ -1,0 +1,65 @@
+// TraceEventListener: a bundled EventListener that records timestamped
+// internal events into a bounded in-memory ring buffer, dumpable as Chrome
+// trace_event JSON (load chrome://tracing or https://ui.perfetto.dev on the
+// output of DumpChromeTrace). Lets one *see* a flush -> compaction cascade
+// or a stall storm on the real timeline instead of inferring it from
+// counters.
+#ifndef CLSM_OBS_TRACE_LISTENER_H_
+#define CLSM_OBS_TRACE_LISTENER_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/event_listener.h"
+
+namespace clsm {
+
+class TraceEventListener : public EventListener {
+ public:
+  // capacity: max retained events; older events are overwritten (the dump
+  // reports how many were lost).
+  explicit TraceEventListener(size_t capacity = 1 << 16);
+
+  void OnMemtableRoll(uint64_t memtable_bytes) override;
+  void OnFlushBegin(const FlushJobInfo& info) override;
+  void OnFlushEnd(const FlushJobInfo& info) override;
+  void OnCompactionBegin(const CompactionJobInfo& info) override;
+  void OnCompactionEnd(const CompactionJobInfo& info) override;
+  void OnStallBegin(StallReason reason) override;
+  void OnStallEnd(StallReason reason, uint64_t micros) override;
+  void OnWalSync(const WalSyncInfo& info) override;
+
+  // Chrome trace_event JSON object: {"traceEvents": [...], ...}. Safe to
+  // call concurrently with event recording (events arriving mid-dump may or
+  // may not be included).
+  std::string DumpChromeTrace() const;
+
+  // Events currently retained / recorded since construction.
+  size_t NumRetained() const;
+  uint64_t NumRecorded() const;
+
+ private:
+  // "B"/"E" duration events are matched by (name, tid) in the viewer, so
+  // each event carries the recording thread's id.
+  struct Event {
+    char phase;             // 'B', 'E' or 'i' (instant)
+    const char* name;       // static string
+    uint64_t ts_micros;     // steady-clock timestamp
+    uint64_t tid;           // recording thread
+    int level;              // compaction level, or -1
+    uint64_t arg;           // bytes / micros, event-specific
+  };
+
+  void Push(char phase, const char* name, int level, uint64_t arg);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;
+  uint64_t recorded_ = 0;  // total pushes; ring slot = recorded_ % capacity_
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_OBS_TRACE_LISTENER_H_

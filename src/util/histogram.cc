@@ -1,5 +1,6 @@
 #include "src/util/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -50,6 +51,31 @@ void Histogram::Add(double value) {
   num_++;
   sum_ += value;
   sum_squares_ += (value * value);
+}
+
+int Histogram::BucketIndex(double value) {
+  // First bucket whose limit exceeds value; the last bucket absorbs
+  // everything beyond the table.
+  const double* end = kBucketLimit + kNumBuckets - 1;
+  return static_cast<int>(std::upper_bound(kBucketLimit, end, value) - kBucketLimit);
+}
+
+void Histogram::MergeBucketCounts(const uint64_t counts[kNumBuckets], uint64_t num, double sum,
+                                  double min, double max) {
+  if (num == 0) {
+    return;
+  }
+  if (min < min_) {
+    min_ = min;
+  }
+  if (max > max_) {
+    max_ = max;
+  }
+  num_ += static_cast<double>(num);
+  sum_ += sum;
+  for (int b = 0; b < kNumBuckets; b++) {
+    buckets_[b] += static_cast<double>(counts[b]);
+  }
 }
 
 void Histogram::Merge(const Histogram& other) {

@@ -4,17 +4,35 @@
 #ifndef CLSM_UTIL_HISTOGRAM_H_
 #define CLSM_UTIL_HISTOGRAM_H_
 
+#include <cstdint>
 #include <string>
 
 namespace clsm {
 
 class Histogram {
  public:
+  // Bucket geometry is shared with the lock-free sharded histograms in
+  // src/obs (they count into the same bucket domain and merge here for
+  // percentile math).
+  static constexpr int kNumBuckets = 154;
+
   Histogram() { Clear(); }
 
   void Clear();
   void Add(double value);
   void Merge(const Histogram& other);
+
+  // Index of the bucket value falls into (binary search over the limits).
+  static int BucketIndex(double value);
+  // Upper bound of bucket b (its values lie in (BucketLimit(b-1), limit]).
+  static double BucketLimit(int b) { return kBucketLimit[b]; }
+
+  // Merge a raw per-bucket count array (same kBucketLimit domain) plus its
+  // moments, as accumulated by an external sharded histogram. sum_squares
+  // is unknown for such sources; StandardDeviation becomes meaningless
+  // after this call, the percentile series stays exact to bucket width.
+  void MergeBucketCounts(const uint64_t counts[kNumBuckets], uint64_t num, double sum, double min,
+                         double max);
 
   double Median() const;
   double Percentile(double p) const;
@@ -27,7 +45,6 @@ class Histogram {
   std::string ToString() const;
 
  private:
-  enum { kNumBuckets = 154 };
   static const double kBucketLimit[kNumBuckets];
 
   double min_;

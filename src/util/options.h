@@ -6,11 +6,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 namespace clsm {
 
 class Comparator;
 class Env;
+class EventListener;
 class Snapshot;
 class BlockCache;
 
@@ -75,6 +78,23 @@ struct Options {
   // §5.3/§6 is permanently in effect). Retained for option-sweep
   // compatibility; has no behavioral effect anymore.
   bool dedicated_flush_thread = false;
+
+  // --- observability (src/obs) ---
+
+  // Record per-op / per-phase latency histograms into the DB's sharded
+  // StatsRegistry (exported via GetProperty("clsm.stats.json")). Costs a
+  // few steady-clock reads per operation; turn off to measure the store's
+  // absolute ceiling (the instrumentation-overhead microbench does).
+  bool latency_metrics = true;
+
+  // Lifecycle hooks (memtable roll, flush, compaction, stall, WAL sync)
+  // invoked from internal threads. Hooks must be non-blocking and
+  // exception-free; see src/obs/event_listener.h for the full contract.
+  std::vector<std::shared_ptr<EventListener>> listeners;
+
+  // If > 0, a background StatsReporter thread logs interval counter deltas
+  // plus the full JSON stats snapshot to stderr every this-many seconds.
+  unsigned stats_dump_period_sec = 0;
 
   // Make snapshot acquisition linearizable instead of merely serializable:
   // getSnap waits until it can choose a snapshot time no smaller than the

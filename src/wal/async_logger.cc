@@ -1,5 +1,7 @@
 #include "src/wal/async_logger.h"
 
+#include <chrono>
+
 namespace clsm {
 
 AsyncLogger::AsyncLogger(std::unique_ptr<WritableFile> file)
@@ -87,7 +89,15 @@ void AsyncLogger::BackgroundLoop() {
       // Sync writes: make everything up to and including this record
       // durable before acknowledging.
       if (s.ok()) {
+        const auto sync_start = std::chrono::steady_clock::now();
         s = file_->Sync();
+        if (sync_hook_) {
+          const auto sync_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                                       std::chrono::steady_clock::now() - sync_start)
+                                       .count();
+          sync_hook_(written_.load(std::memory_order_relaxed) + 1,
+                     static_cast<uint64_t>(sync_micros));
+        }
       }
       dirty = false;
     }

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +43,14 @@ class AsyncLogger {
   // Wait for everything enqueued so far to be written (not synced).
   void Drain();
 
+  // Observability hook fired on the logger thread after every durable
+  // file sync (records-written-so-far, sync duration micros). Must be
+  // non-blocking; set before the first sync can occur (i.e. right after
+  // construction, before the logger is published to writers).
+  void set_sync_hook(std::function<void(uint64_t, uint64_t)> hook) {
+    sync_hook_ = std::move(hook);
+  }
+
   Status status() const;
 
  private:
@@ -56,6 +65,7 @@ class AsyncLogger {
   MpscQueue<Entry> queue_;
   std::unique_ptr<WritableFile> file_;
   log::Writer writer_;
+  std::function<void(uint64_t, uint64_t)> sync_hook_;  // (records, micros)
 
   mutable std::mutex status_mutex_;
   Status status_;

@@ -46,6 +46,10 @@ struct DriverResult {
   uint64_t reads = 0, writes = 0, scans = 0, rmws = 0;
   Histogram latency_micros;  // merged across threads
 
+  // The DB's "clsm.stats.json" snapshot taken right after the run (filled
+  // by RunCell; empty when the harness never saw the DB handle).
+  std::string stats_json;
+
   std::string Summary() const;
 };
 

@@ -159,10 +159,11 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(result.writes),
          static_cast<unsigned long long>(result.scans),
          static_cast<unsigned long long>(result.rmws));
+  db->WaitForMaintenance();
   if (flags.stats) {
     printf("--- internal stats ---\n%s", db->GetProperty("clsm.stats").c_str());
     printf("levels: %s\n", db->GetProperty("clsm.levels").c_str());
+    printf("--- stats json ---\n%s\n", db->GetProperty("clsm.stats.json").c_str());
   }
-  db->WaitForMaintenance();
   return 0;
 }

@@ -126,6 +126,11 @@ Status BaselineDbBase::Write(const WriteOptions& options, WriteBatch* updates) {
 // contention the paper measures (§5.1: throughput decreases as threads
 // contend for the writers queue).
 Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* updates) {
+  // Degraded read-only mode: fail writes at the door once a hard error is
+  // latched (not only when MakeRoomForWrite happens to run).
+  if (engine_.bg_error()->writes_blocked()) {
+    return engine_.bg_error()->status();
+  }
   Writer w(updates, options.sync || engine_.options().sync_logging);
 
   std::unique_lock<std::mutex> lock(mutex_);
@@ -249,9 +254,12 @@ Status BaselineDbBase::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
     }
   };
   while (true) {
-    if (!bg_error_.ok()) {
+    if (!engine_.bg_error()->ok()) {
+      // Any latched error (even a soft compaction failure) ends the wait:
+      // the pipeline this writer is waiting on may never drain. This
+      // matches LevelDB, where every bg_error_ fails writers.
       end_stall();
-      return bg_error_;
+      return engine_.bg_error()->status();
     }
     if (allow_delay &&
         engine_.NumLevelFiles(0) >= engine_.options().l0_slowdown_trigger) {
@@ -298,9 +306,7 @@ void BaselineDbBase::RollMemTableLocked() {
   if (!engine_.options().disable_wal) {
     Status s = engine_.NewLog(&fresh_log, &fresh_logger);
     if (!s.ok()) {
-      if (bg_error_.ok()) {
-        bg_error_ = s;
-      }
+      engine_.RecordBackgroundError(BgErrorReason::kMemtableRoll, s);
       return;
     }
   } else {
@@ -319,10 +325,23 @@ void BaselineDbBase::RollMemTableLocked() {
 }
 
 void BaselineDbBase::FlushImmutable() {
+  if (engine_.bg_error()->writes_blocked()) {
+    return;  // degraded mode: keep C'm (and its WAL) for reads/recovery
+  }
   MemTable* imm = imm_.load(std::memory_order_acquire);
   assert(imm != nullptr);
+
+  // The retired WAL must be durable before the table build retires it; a
+  // failed drain/sync/close aborts the flush (see ClsmDb::FlushImmutable).
+  if (imm_logger_ != nullptr) {
+    Status wal_status = imm_logger_->Close();
+    imm_logger_.reset();
+    if (!wal_status.ok()) {
+      engine_.RecordBackgroundError(BgErrorReason::kWalSync, wal_status);
+      return;
+    }
+  }
   stats_.Bump(stats_.flushes);
-  imm_logger_.reset();  // drain + sync the retired WAL
 
   // Persist the sequence counter with the flush edit (see ClsmDb note).
   engine_.versions()->SetLastSequence(
@@ -331,9 +350,7 @@ void BaselineDbBase::FlushImmutable() {
   {
     std::lock_guard<std::mutex> l(mutex_);
     if (!s.ok()) {
-      if (bg_error_.ok()) {
-        bg_error_ = s;
-      }
+      // FlushMemTable latched the background error.
       return;
     }
     imm_.store(nullptr, std::memory_order_release);
@@ -347,8 +364,9 @@ void BaselineDbBase::FlushImmutable() {
 void BaselineDbBase::MaintenanceLoop() {
   std::mutex loop_mutex;
   while (!shutting_down_.load(std::memory_order_acquire)) {
-    bool need_flush = imm_exists_.load(std::memory_order_acquire);
-    bool need_compact = engine_.NeedsCompaction();
+    const bool blocked = engine_.bg_error()->writes_blocked();
+    bool need_flush = !blocked && imm_exists_.load(std::memory_order_acquire);
+    bool need_compact = !blocked && engine_.NeedsCompaction();
     if (!need_flush && !need_compact) {
       std::unique_lock<std::mutex> l(loop_mutex);
       maintenance_cv_.wait_for(l, std::chrono::milliseconds(2));
@@ -357,15 +375,10 @@ void BaselineDbBase::MaintenanceLoop() {
     if (need_flush) {
       FlushImmutable();
     }
-    if (engine_.NeedsCompaction()) {
+    if (need_compact && engine_.NeedsCompaction()) {
       bool did_work = false;
-      Status s = engine_.CompactOnce(SmallestLiveSnapshot(), &did_work);
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> l(mutex_);
-        if (bg_error_.ok()) {
-          bg_error_ = s;
-        }
-      }
+      // Failures latch inside RunCompaction (kCompaction/kManifestWrite).
+      engine_.CompactOnce(SmallestLiveSnapshot(), &did_work);
     }
     work_done_cv_.notify_all();
   }
@@ -515,6 +528,9 @@ Status BaselineDbBase::ReadModifyWrite(const WriteOptions& options, const Slice&
   }
   ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kRmw);
   stats_.Bump(stats_.rmw_total);
+  if (engine_.bg_error()->writes_blocked()) {
+    return engine_.bg_error()->status();
+  }
   std::lock_guard<std::mutex> l(mutex_);
   std::string current;
   SequenceNumber seq_found = 0;
@@ -566,14 +582,19 @@ std::string BaselineDbBase::GetProperty(const Slice& property) {
     return BuildStatsJson(src);
   }
   if (property == Slice("clsm.bg-error")) {
-    std::lock_guard<std::mutex> l(mutex_);
-    return bg_error_.ToString();
+    return engine_.bg_error()->status().ToString();
+  }
+  if (property == Slice("clsm.background-error")) {
+    return engine_.bg_error()->ToString();
   }
   return std::string();
 }
 
 void BaselineDbBase::WaitForMaintenance() {
   while (true) {
+    if (!engine_.bg_error()->ok()) {
+      return;  // maintenance is wedged; nothing further to wait for
+    }
     MemTable* mem = mem_.load(std::memory_order_acquire);
     bool busy = imm_exists_.load(std::memory_order_acquire) || engine_.NeedsCompaction() ||
                 (mem != nullptr &&

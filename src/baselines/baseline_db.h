@@ -110,7 +110,8 @@ class BaselineDbBase : public DB {
   std::condition_variable maintenance_cv_;
   std::condition_variable work_done_cv_;
   std::atomic<bool> shutting_down_{false};
-  Status bg_error_;  // guarded by mutex_
+  // Sticky background error: engine_.bg_error() (shared with the engine's
+  // compaction path, checked lock-free at write entry).
   std::thread maintenance_thread_;
 
   // Observability: same counters/latency series as ClsmDb so every variant

@@ -80,11 +80,10 @@ Status ClsmDb::Init() {
   // thereby a dedicated flush thread (§5.3's reserved-thread setup).
   engine_.StartCompactionScheduler(
       engine_.options().compaction_threads, [this] { return SmallestLiveSnapshot(); },
-      [this](const Status& s) {
+      [this](const Status&) {
+        // The engine already latched the error; wake stalled writers so
+        // they observe it instead of waiting out the 1ms poll.
         std::lock_guard<std::mutex> l(maintenance_mutex_);
-        if (bg_error_.ok()) {
-          bg_error_ = s;
-        }
         work_done_cv_.notify_all();
       });
   if (engine_.options().stats_dump_period_sec > 0) {
@@ -223,13 +222,15 @@ Status ClsmDb::ThrottleIfNeeded() {
       stats_.Bump(stats_.throttle_waits);
       const auto t0 = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> l(maintenance_mutex_);
-      if (!bg_error_.ok()) {
+      if (!engine_.bg_error()->ok()) {
         // Maintenance cannot drain the pipeline; waiting would stall
-        // writers forever. Latch the error out to the caller (as LevelDB
-        // does), cleared only by reopening the store.
+        // writers forever. Surface the error to the caller (as LevelDB
+        // does), cleared only by reopening the store. Even a soft error
+        // (failed compaction) ends the stall: the stall exists because
+        // the pipeline is not draining.
         l.unlock();
         end_stall();
-        return bg_error_;
+        return engine_.bg_error()->status();
       }
       maintenance_cv_.notify_one();
       engine_.SignalCompaction();
@@ -272,6 +273,12 @@ Status ClsmDb::ThrottleIfNeeded() {
 Status ClsmDb::PutInternal(const WriteOptions& options, ValueType type, const Slice& key,
                            const Slice& value) {
   stats_.Bump(type == kTypeValue ? stats_.puts_total : stats_.deletes_total);
+  // Degraded read-only mode: a latched hard error means new writes can no
+  // longer be made durable — fail them at the door (one lock-free load on
+  // the happy path) instead of only when the pipeline backs up.
+  if (engine_.bg_error()->writes_blocked()) {
+    return engine_.bg_error()->status();
+  }
   // Latency probes: four LatencyClock reads when metrics are on (op total
   // plus the mem-insert and WAL-append phase splits), zero when off.
   const uint64_t t0 = metrics_on_ ? LatencyClock::Ticks() : 0;
@@ -324,6 +331,9 @@ Status ClsmDb::Delete(const WriteOptions& options, const Slice& key) {
 
 Status ClsmDb::Write(const WriteOptions& options, WriteBatch* updates) {
   stats_.Bump(stats_.batches_total);
+  if (engine_.bg_error()->writes_blocked()) {
+    return engine_.bg_error()->status();
+  }
   Status throttle_status = ThrottleIfNeeded();
   if (!throttle_status.ok()) {
     return throttle_status;
@@ -507,6 +517,9 @@ Status ClsmDb::ReadModifyWrite(const WriteOptions& options, const Slice& key,
   }
   ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kRmw);
   stats_.Bump(stats_.rmw_total);
+  if (engine_.bg_error()->writes_blocked()) {
+    return engine_.bg_error()->status();
+  }
   Status throttle_status = ThrottleIfNeeded();
   if (!throttle_status.ok()) {
     return throttle_status;
@@ -578,10 +591,7 @@ void ClsmDb::RollMemTable() {
   if (!engine_.options().disable_wal) {
     Status s = engine_.NewLog(&fresh_log, &fresh_logger);
     if (!s.ok()) {
-      std::lock_guard<std::mutex> l(maintenance_mutex_);
-      if (bg_error_.ok()) {
-        bg_error_ = s;
-      }
+      engine_.RecordBackgroundError(BgErrorReason::kMemtableRoll, s);
       return;
     }
   } else {
@@ -605,9 +615,14 @@ void ClsmDb::RollMemTable() {
 }
 
 void ClsmDb::FlushImmutable() {
+  // Once a hard error is latched the WAL/flush pipeline can no longer be
+  // trusted: leave C'm (and its WAL) in place — reads keep serving it, and
+  // the next open replays the WAL.
+  if (engine_.bg_error()->writes_blocked()) {
+    return;
+  }
   MemTable* imm = imm_.load(std::memory_order_acquire);
   assert(imm != nullptr);
-  stats_.Bump(stats_.flushes);
 
   // The flush edit persists the current timestamp counter: recovery
   // restores it as max(manifest last-sequence, replayed WAL timestamps).
@@ -615,16 +630,24 @@ void ClsmDb::FlushImmutable() {
       std::max(engine_.versions()->LastSequence(), time_counter_.Get()));
 
   // Every record of the immutable component must be durably in its WAL
-  // before the table build starts: destroying the logger drains its queue,
-  // syncs and closes the file.
-  imm_logger_.reset();
+  // before the table build starts: Close() drains the queue, syncs and
+  // closes the file — and REPORTS failure. A failed final sync means acked
+  // synchronous writes may exist only in this WAL, so the flush must abort
+  // before the table build can retire the log (the pre-PR code reset the
+  // logger blind and went on to delete the WAL: fsyncgate-style data loss).
+  if (imm_logger_ != nullptr) {
+    Status wal_status = imm_logger_->Close();
+    imm_logger_.reset();
+    if (!wal_status.ok()) {
+      engine_.RecordBackgroundError(BgErrorReason::kWalSync, wal_status);
+      return;
+    }
+  }
+  stats_.Bump(stats_.flushes);
 
   Status s = engine_.FlushMemTable(imm, log_number_);
   if (!s.ok()) {
-    std::lock_guard<std::mutex> l(maintenance_mutex_);
-    if (bg_error_.ok()) {
-      bg_error_ = s;
-    }
+    // FlushMemTable latched the error; C'm stays resident for reads.
     return;
   }
 
@@ -656,9 +679,13 @@ void ClsmDb::MaintenanceLoop() {
     {
       std::unique_lock<std::mutex> l(maintenance_mutex_);
       while (!shutting_down_.load(std::memory_order_acquire)) {
+        // With a hard error latched there is nothing useful to do: rolling
+        // would orphan more WALs and flushing would retire a log whose
+        // durability is unknown. Park until shutdown (or reopen).
+        const bool blocked = engine_.bg_error()->writes_blocked();
         MemTable* mem = mem_.load(std::memory_order_acquire);
-        need_flush = imm_exists_.load(std::memory_order_acquire);
-        need_roll = !need_flush && mem != nullptr &&
+        need_flush = !blocked && imm_exists_.load(std::memory_order_acquire);
+        need_roll = !blocked && !need_flush && mem != nullptr &&
                     mem->ApproximateMemoryUsage() >= engine_.options().write_buffer_size;
         if (need_roll || need_flush) {
           break;
@@ -673,7 +700,8 @@ void ClsmDb::MaintenanceLoop() {
     if (need_roll) {
       RollMemTable();
     }
-    if (imm_exists_.load(std::memory_order_acquire)) {
+    if (imm_exists_.load(std::memory_order_acquire) &&
+        !engine_.bg_error()->writes_blocked()) {
       FlushImmutable();
     }
     work_done_cv_.notify_all();
@@ -694,7 +722,7 @@ void ClsmDb::WaitForMaintenance() {
       return;
     }
     std::unique_lock<std::mutex> l(maintenance_mutex_);
-    if (!bg_error_.ok()) {
+    if (!engine_.bg_error()->ok()) {
       return;  // maintenance is wedged; nothing further to wait for
     }
     maintenance_cv_.notify_one();
@@ -739,6 +767,13 @@ std::string ClsmDb::GetProperty(const Slice& property) {
   }
   if (property == Slice("clsm.compactions-inflight")) {
     return std::to_string(engine_.versions()->NumInFlightCompactions());
+  }
+  if (property == Slice("clsm.background-error")) {
+    return engine_.bg_error()->ToString();
+  }
+  if (property == Slice("clsm.bg-error")) {
+    // Baseline-compatible spelling: just the status string.
+    return engine_.bg_error()->status().ToString();
   }
   return std::string();
 }

@@ -130,7 +130,9 @@ class ClsmDb final : public DB {
   std::condition_variable work_done_cv_;
   std::atomic<bool> shutting_down_{false};
   std::atomic<bool> imm_exists_{false};  // fast-path view of imm_ != null
-  Status bg_error_;
+  // The sticky background error lives in engine_.bg_error(): shared with
+  // the engine's own background threads and checked lock-free at every
+  // write entry point (see src/lsm/bg_error.h).
   std::thread maintenance_thread_;
 
   DbStats stats_;

@@ -65,6 +65,25 @@ StorageEngine::StorageEngine(const Options& options, const std::string& dbname)
 
 StorageEngine::~StorageEngine() { StopCompactionScheduler(); }
 
+void StorageEngine::RecordBackgroundError(BgErrorReason reason, const Status& s) {
+  if (s.ok()) {
+    return;
+  }
+  const BgErrorSeverity sev = bg_error_.Record(reason, s);
+  listeners_.NotifyBackgroundError(BackgroundErrorInfo{reason, sev, s});
+}
+
+void StorageEngine::RemoveFileTracked(const std::string& fname) {
+  Status s = env_->RemoveFile(fname);
+  if (!s.ok()) {
+    // A leaked file loses no data: report (gauge + listener) but do not
+    // latch — latching would wrongly push the store read-only.
+    cleanup_failures_.fetch_add(1, std::memory_order_relaxed);
+    listeners_.NotifyBackgroundError(
+        BackgroundErrorInfo{BgErrorReason::kFileCleanup, BgErrorSeverity::kSoft, s});
+  }
+}
+
 void StorageEngine::StartCompactionScheduler(int num_threads,
                                              std::function<SequenceNumber()> smallest_snapshot,
                                              std::function<void(const Status&)> on_error) {
@@ -118,6 +137,8 @@ void StorageEngine::CompactionWorkerLoop() {
     Status s = RunCompaction(c.get(), smallest_snapshot);
     c.reset();  // releases the in-flight levels (after the edit install)
     if (!s.ok()) {
+      // RunCompaction already latched the background error; the callback
+      // only wakes the owning DB (stalled writers re-check the state).
       if (sched_on_error_) {
         sched_on_error_(s);
       }
@@ -161,7 +182,7 @@ Status StorageEngine::NewDB() {
     // Make "CURRENT" file that points to the new manifest file.
     s = SetCurrentFile(env_, dbname_, 1);
   } else {
-    env_->RemoveFile(manifest);
+    RemoveFileTracked(manifest);
   }
   return s;
 }
@@ -228,7 +249,9 @@ Status StorageEngine::Open(MemTable** recovered_mem, SequenceNumber* max_seq) {
 Status StorageEngine::RecoverLogFile(uint64_t log_number, MemTable* mem, SequenceNumber* max_seq) {
   struct LogReporter : public log::Reader::Reporter {
     Status* status;
+    uint64_t dropped_bytes = 0;
     void Corruption(size_t bytes, const Status& s) override {
+      dropped_bytes += bytes;
       if (status->ok()) {
         *status = s;
       }
@@ -281,7 +304,16 @@ Status StorageEngine::RecoverLogFile(uint64_t log_number, MemTable* mem, Sequenc
     ops.insert(ops.end(), record_ops.begin(), record_ops.end());
   }
   if (!corruption_status.ok()) {
-    return corruption_status;
+    // A crash can tear the unsynced tail of the last WAL mid-block; the
+    // reader resyncs and reports the damaged span. Acked synchronous
+    // writes are always in the synced prefix, so dropping the tail loses
+    // nothing the store promised to keep. Only paranoid mode refuses to
+    // open; otherwise count what was dropped and recover the rest.
+    if (options_.paranoid_checks) {
+      return corruption_status;
+    }
+    wal_recovery_drops_.fetch_add(reporter.dropped_bytes > 0 ? reporter.dropped_bytes : 1,
+                                  std::memory_order_relaxed);
   }
 
   std::stable_sort(ops.begin(), ops.end(), [](const Op& a, const Op& b) { return a.seq < b.seq; });
@@ -350,7 +382,7 @@ Status StorageEngine::BuildTable(Iterator* iter, FileMetaData* meta) {
     s = iter->status();
   }
   if (!s.ok() || meta->file_size == 0) {
-    env_->RemoveFile(fname);
+    RemoveFileTracked(fname);
   }
   return s;
 }
@@ -367,13 +399,18 @@ Status StorageEngine::FlushMemTable(MemTable* mem, uint64_t log_number) {
   std::unique_ptr<Iterator> iter(mem->NewIterator());
 
   Status s = BuildTable(iter.get(), &meta);
-  if (s.ok()) {
+  if (!s.ok()) {
+    RecordBackgroundError(BgErrorReason::kFlush, s);
+  } else {
     VersionEdit edit;
     if (meta.file_size > 0) {
       edit.AddFile(0, meta.number, meta.file_size, meta.smallest, meta.largest);
     }
     edit.SetLogNumber(log_number);
     s = versions_->LogAndApply(&edit);
+    if (!s.ok()) {
+      RecordBackgroundError(BgErrorReason::kManifestWrite, s);
+    }
   }
 
   const uint64_t nanos = MonotonicNanos() - t0;
@@ -392,7 +429,11 @@ Status StorageEngine::FlushMemTable(MemTable* mem, uint64_t log_number) {
 Status StorageEngine::CommitLogRotation(uint64_t log_number) {
   VersionEdit edit;
   edit.SetLogNumber(log_number);
-  return versions_->LogAndApply(&edit);
+  Status s = versions_->LogAndApply(&edit);
+  if (!s.ok()) {
+    RecordBackgroundError(BgErrorReason::kManifestWrite, s);
+  }
+  return s;
 }
 
 Status StorageEngine::CompactOnce(SequenceNumber smallest_snapshot, bool* did_work) {
@@ -417,6 +458,7 @@ Status StorageEngine::RunCompaction(Compaction* c, SequenceNumber smallest_snaps
   listeners_.NotifyCompactionBegin(info);
 
   Status s;
+  BgErrorReason fail_reason = BgErrorReason::kCompaction;
   if (c->IsTrivialMove()) {
     // Move the file down one level without rewriting it (no IO: the move
     // contributes to the job count but not to bytes read/written).
@@ -425,12 +467,16 @@ Status StorageEngine::RunCompaction(Compaction* c, SequenceNumber smallest_snaps
     c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest, f->largest);
     stats.trivial_moves.fetch_add(1, std::memory_order_relaxed);
     s = versions_->LogAndApply(c->edit());
+    fail_reason = BgErrorReason::kManifestWrite;
   } else {
     uint64_t bytes_written = 0;
     stats.bytes_read.fetch_add(info.bytes_read, std::memory_order_relaxed);
-    s = DoCompactionWork(c, smallest_snapshot, &bytes_written);
+    s = DoCompactionWork(c, smallest_snapshot, &bytes_written, &fail_reason);
     stats.bytes_written.fetch_add(bytes_written, std::memory_order_relaxed);
     info.bytes_written = bytes_written;
+  }
+  if (!s.ok()) {
+    RecordBackgroundError(fail_reason, s);
   }
 
   const uint64_t nanos = MonotonicNanos() - t0;
@@ -444,8 +490,9 @@ Status StorageEngine::RunCompaction(Compaction* c, SequenceNumber smallest_snaps
 }
 
 Status StorageEngine::DoCompactionWork(Compaction* c, SequenceNumber smallest_snapshot,
-                                       uint64_t* bytes_written) {
+                                       uint64_t* bytes_written, BgErrorReason* fail_reason) {
   *bytes_written = 0;
+  *fail_reason = BgErrorReason::kCompaction;
   // kMaxSequenceNumber doubles as the "newest entry seen so far" sentinel in
   // the drop rule below; a caller passing it as "no snapshots" must not make
   // the sentinel itself satisfy last_sequence_for_key <= smallest_snapshot.
@@ -565,11 +612,14 @@ Status StorageEngine::DoCompactionWork(Compaction* c, SequenceNumber smallest_sn
       *bytes_written += out.file_size;
     }
     s = versions_->LogAndApply(c->edit());
+    if (!s.ok()) {
+      *fail_reason = BgErrorReason::kManifestWrite;
+    }
   }
   if (!s.ok()) {
     // Discard any outputs we managed to write; they were never installed.
     for (const FileMetaData& out : outputs) {
-      env_->RemoveFile(TableFileName(dbname_, out.number));
+      RemoveFileTracked(TableFileName(dbname_, out.number));
     }
   }
   c->ReleaseInputs();
@@ -591,6 +641,12 @@ Status StorageEngine::NewLog(uint64_t* log_number, std::unique_ptr<AsyncLogger>*
       listeners_.NotifyWalSync(WalSyncInfo{records, micros});
     });
   }
+  // The first append or sync failure on the logger thread latches the
+  // store's background error even when no writer ever reads a Status
+  // (async appends have no caller to return to).
+  (*logger)->set_error_hook([this](const Status& es, bool sync_path) {
+    RecordBackgroundError(sync_path ? BgErrorReason::kWalSync : BgErrorReason::kWalAppend, es);
+  });
   return Status::OK();
 }
 
@@ -629,7 +685,7 @@ void StorageEngine::RemoveObsoleteFiles(uint64_t min_live_log_number, bool inclu
       if (type == kTableFile) {
         table_cache_->Evict(number);
       }
-      env_->RemoveFile(dbname_ + "/" + filename);
+      RemoveFileTracked(dbname_ + "/" + filename);
     }
   }
 }

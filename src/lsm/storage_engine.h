@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/core/stats.h"
+#include "src/lsm/bg_error.h"
 #include "src/lsm/dbformat.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/version_set.h"
@@ -125,6 +126,29 @@ class StorageEngine {
   // also dispatches its own events (rolls, stalls) through this set.
   const ListenerSet& listeners() const { return listeners_; }
 
+  // Sticky background error shared by the engine and the owning DB. Write
+  // entry points check bg_error()->writes_blocked(); background work calls
+  // RecordBackgroundError on failure.
+  BackgroundErrorState* bg_error() { return &bg_error_; }
+  const BackgroundErrorState* bg_error() const { return &bg_error_; }
+
+  // Latch s into the sticky state and notify listeners. No-op when s is OK.
+  void RecordBackgroundError(BgErrorReason reason, const Status& s);
+
+  // Best-effort file removal for error paths and obsolete-file sweeps:
+  // failures bump the cleanup-failure gauge and notify listeners (kSoft)
+  // but do NOT latch the sticky error — a leaked file loses no data.
+  void RemoveFileTracked(const std::string& fname);
+
+  uint64_t cleanup_failures() const {
+    return cleanup_failures_.load(std::memory_order_relaxed);
+  }
+  // WAL records dropped as unreadable during recovery (torn/corrupt tails
+  // tolerated when !paranoid_checks).
+  uint64_t wal_recovery_drops() const {
+    return wal_recovery_drops_.load(std::memory_order_relaxed);
+  }
+
   // Attach the owning DB's latency registry so the engine records its
   // internal phases (flush, compaction) there. Must be set before
   // background work starts; null (default) disables phase recording.
@@ -155,8 +179,10 @@ class StorageEngine {
   // Runs one already-picked compaction (trivial move or full merge) and
   // records its per-level stats. Used by both CompactOnce and the workers.
   Status RunCompaction(Compaction* c, SequenceNumber smallest_snapshot);
+  // fail_reason reports which stage failed (kCompaction for table I/O,
+  // kManifestWrite for the edit install) when the result is not OK.
   Status DoCompactionWork(Compaction* c, SequenceNumber smallest_snapshot,
-                          uint64_t* bytes_written);
+                          uint64_t* bytes_written, BgErrorReason* fail_reason);
   void CompactionWorkerLoop();
 
   Options options_;
@@ -173,6 +199,12 @@ class StorageEngine {
   // Observability: listener fan-out + (optional) owning DB's registry.
   ListenerSet listeners_;
   StatsRegistry* registry_ = nullptr;
+
+  // Error handling (see src/lsm/bg_error.h and DESIGN.md "Error handling
+  // & crash consistency").
+  BackgroundErrorState bg_error_;
+  std::atomic<uint64_t> cleanup_failures_{0};
+  std::atomic<uint64_t> wal_recovery_drops_{0};
 
   // Compaction scheduler state.
   CompactionStats compaction_stats_;

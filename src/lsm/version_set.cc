@@ -605,6 +605,7 @@ Status VersionSet::Recover() {
   Builder builder(this, current_unlocked());
   int read_records = 0;
 
+  Status reader_status;
   {
     struct LogReporter : public log::Reader::Reporter {
       Status* status;
@@ -615,7 +616,7 @@ Status VersionSet::Recover() {
       }
     };
     LogReporter reporter;
-    reporter.status = &s;
+    reporter.status = &reader_status;
     log::Reader reader(file.get(), &reporter, true /*checksum*/, 0 /*initial_offset*/);
     Slice record;
     std::string scratch;
@@ -647,6 +648,17 @@ Status VersionSet::Recover() {
         last_sequence = edit.last_sequence_;
         have_last_sequence = true;
       }
+    }
+  }
+
+  if (s.ok() && !reader_status.ok()) {
+    // The manifest's unsynced tail can be torn by a crash mid-record. Every
+    // durably installed edit was synced by LogAndApply before it was acted
+    // on, so the readable prefix is a consistent (if slightly old) state.
+    // Only paranoid mode refuses to open on a damaged tail; the meta-entry
+    // checks below still reject a manifest whose prefix is unusable.
+    if (options_->paranoid_checks) {
+      s = reader_status;
     }
   }
 
@@ -703,9 +715,15 @@ void VersionSet::Finalize(Version* v) {
 }
 
 Status VersionSet::WriteSnapshot(log::Writer* log) {
-  // Save metadata.
+  // Save metadata. The snapshot record is self-describing: it carries the
+  // next-file/log-number/last-sequence meta entries too, so a manifest
+  // whose trailing edit is lost to a torn tail still decodes to a usable
+  // state (recovery then replays every WAL from the older log number).
   VersionEdit edit;
   edit.SetComparatorName(icmp_.user_comparator()->Name());
+  edit.SetNextFile(next_file_number_.load(std::memory_order_acquire));
+  edit.SetLogNumber(log_number_.load(std::memory_order_acquire));
+  edit.SetLastSequence(last_sequence_.load(std::memory_order_acquire));
 
   // Save compaction pointers.
   {

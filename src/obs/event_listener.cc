@@ -2,6 +2,40 @@
 
 namespace clsm {
 
+const char* BgErrorReasonName(BgErrorReason r) {
+  switch (r) {
+    case BgErrorReason::kWalAppend:
+      return "wal_append";
+    case BgErrorReason::kWalSync:
+      return "wal_sync";
+    case BgErrorReason::kMemtableRoll:
+      return "memtable_roll";
+    case BgErrorReason::kFlush:
+      return "flush";
+    case BgErrorReason::kCompaction:
+      return "compaction";
+    case BgErrorReason::kManifestWrite:
+      return "manifest_write";
+    case BgErrorReason::kFileCleanup:
+      return "file_cleanup";
+  }
+  return "unknown";
+}
+
+const char* BgErrorSeverityName(BgErrorSeverity s) {
+  switch (s) {
+    case BgErrorSeverity::kNone:
+      return "none";
+    case BgErrorSeverity::kSoft:
+      return "soft";
+    case BgErrorSeverity::kHard:
+      return "hard";
+    case BgErrorSeverity::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
 const char* StallReasonName(StallReason r) {
   switch (r) {
     case StallReason::kMemtableFull:
@@ -59,6 +93,12 @@ void ListenerSet::NotifyStallEnd(StallReason reason, uint64_t micros) const {
 void ListenerSet::NotifyWalSync(const WalSyncInfo& info) const {
   for (const auto& l : listeners_) {
     l->OnWalSync(info);
+  }
+}
+
+void ListenerSet::NotifyBackgroundError(const BackgroundErrorInfo& info) const {
+  for (const auto& l : listeners_) {
+    l->OnBackgroundError(info);
   }
 }
 

@@ -18,7 +18,41 @@
 #include <memory>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace clsm {
+
+// Where a background error originated. Ordered roughly by pipeline stage;
+// the value is informational only — severity drives behavior.
+enum class BgErrorReason : int {
+  kWalAppend = 0,   // WAL record append failed on the logger thread
+  kWalSync,         // WAL fsync failed (sync write or flush-boundary close)
+  kMemtableRoll,    // could not create the fresh WAL for a rolled memtable
+  kFlush,           // building the level-0 table failed
+  kCompaction,      // a compaction job failed
+  kManifestWrite,   // manifest append/sync or CURRENT install failed
+  kFileCleanup,     // best-effort obsolete/error-path file removal failed
+};
+const char* BgErrorReasonName(BgErrorReason r);
+
+// How bad it is. kSoft keeps writes flowing (the condition is retryable
+// and loses no data); kHard blocks writes but keeps reads working
+// (degraded read-only mode); kFatal means persisted state may be
+// inconsistent — reads stay up on the in-memory view but the store needs
+// offline attention.
+enum class BgErrorSeverity : int {
+  kNone = 0,
+  kSoft,
+  kHard,
+  kFatal,
+};
+const char* BgErrorSeverityName(BgErrorSeverity s);
+
+struct BackgroundErrorInfo {
+  BgErrorReason reason = BgErrorReason::kWalAppend;
+  BgErrorSeverity severity = BgErrorSeverity::kNone;
+  Status status;
+};
 
 struct FlushJobInfo {
   uint64_t memtable_entries = 0;   // entries in the flushed component
@@ -67,6 +101,13 @@ class EventListener {
 
   // The WAL logger durably synced its file.
   virtual void OnWalSync(const WalSyncInfo& info) {}
+
+  // A background error was observed. kSoft events (compaction failures,
+  // file-cleanup failures) are reported but do not stop writes; kHard and
+  // kFatal events latch the store's sticky background error and put it
+  // into read-only degraded mode. Fired once per observed event, which
+  // may be more often than the sticky error changes.
+  virtual void OnBackgroundError(const BackgroundErrorInfo& info) {}
 };
 
 // Fan-out dispatcher owned by each DB instance; empty-set dispatch is a
@@ -87,6 +128,7 @@ class ListenerSet {
   void NotifyStallBegin(StallReason reason) const;
   void NotifyStallEnd(StallReason reason, uint64_t micros) const;
   void NotifyWalSync(const WalSyncInfo& info) const;
+  void NotifyBackgroundError(const BackgroundErrorInfo& info) const;
 
  private:
   std::vector<std::shared_ptr<EventListener>> listeners_;

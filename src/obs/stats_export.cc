@@ -122,6 +122,21 @@ void EmitLatencies(JsonOut& j, const StatsRegistry& registry) {
   j.EndObject();
 }
 
+// Background-error health block. Only enum-name literals go into the JSON
+// (never Status strings, which could contain characters JsonOut does not
+// escape).
+void EmitErrors(JsonOut& j, StorageEngine& engine) {
+  const BackgroundErrorState* bg = engine.bg_error();
+  j.BeginObject("errors");
+  j.Str("bg_severity", BgErrorSeverityName(bg->severity()));
+  if (bg->severity() != BgErrorSeverity::kNone) {
+    j.Str("bg_reason", BgErrorReasonName(bg->reason()));
+  }
+  j.U64("file_cleanup_failures", engine.cleanup_failures());
+  j.U64("wal_recovery_drops", engine.wal_recovery_drops());
+  j.EndObject();
+}
+
 void EmitLevels(JsonOut& j, StorageEngine& engine) {
   const CompactionStats& cstats = *engine.compaction_stats();
   VersionSet* versions = engine.versions();
@@ -168,6 +183,7 @@ std::string BuildStatsJson(const StatsJsonSource& src) {
   }
   if (src.engine != nullptr) {
     EmitLevels(j, *src.engine);
+    EmitErrors(j, *src.engine);
   }
   j.EndObject();
   return j.Take();

@@ -5,6 +5,11 @@
 // timestamp order; recovery re-sorts by the embedded cLSM timestamps.
 // Synchronous writes enqueue a completion flag and wait for the logger to
 // durably sync past their record.
+//
+// Error contract: the first append/flush/sync error latches in status()
+// and is reported through the error hook; AddRecordSync returns it, and
+// Drain()/Close() return it so the flush boundary can refuse to retire a
+// WAL whose final sync failed.
 #ifndef CLSM_WAL_ASYNC_LOGGER_H_
 #define CLSM_WAL_ASYNC_LOGGER_H_
 
@@ -31,7 +36,8 @@ class AsyncLogger {
   AsyncLogger(const AsyncLogger&) = delete;
   AsyncLogger& operator=(const AsyncLogger&) = delete;
 
-  // Drains the queue, flushes, and stops the background thread.
+  // Closes (drain + final sync) if Close() was not called; any error from
+  // that implicit close is reported only through the error hook.
   ~AsyncLogger();
 
   // Non-blocking: enqueue record and return. Thread-safe.
@@ -41,7 +47,13 @@ class AsyncLogger {
   Status AddRecordSync(std::string record);
 
   // Wait for everything enqueued so far to be written (not synced).
-  void Drain();
+  // Returns the sticky logger status so callers see append errors.
+  Status Drain();
+
+  // Drain, stop the background thread, sync and close the file. Idempotent;
+  // returns the first error observed over the logger's lifetime, including
+  // the final sync/close. After Close() all Add* calls are invalid.
+  Status Close();
 
   // Observability hook fired on the logger thread after every durable
   // file sync (records-written-so-far, sync duration micros). Must be
@@ -49,6 +61,15 @@ class AsyncLogger {
   // construction, before the logger is published to writers).
   void set_sync_hook(std::function<void(uint64_t, uint64_t)> hook) {
     sync_hook_ = std::move(hook);
+  }
+
+  // Fired at most once, when the sticky status first latches an error
+  // (append/flush path or sync path). Lets the store record a background
+  // error even for async appends whose writers never look at a Status.
+  // Same setup rules as set_sync_hook. The bool is true for sync-path
+  // (durability) failures, false for append/flush failures.
+  void set_error_hook(std::function<void(const Status&, bool)> hook) {
+    error_hook_ = std::move(hook);
   }
 
   Status status() const;
@@ -61,21 +82,33 @@ class AsyncLogger {
   };
 
   void BackgroundLoop();
+  void LatchError(const Status& s, bool sync_path);
+  // Signal waiters in AddRecordSync/Drain that progress was made.
+  void NotifyProgress();
 
   MpscQueue<Entry> queue_;
   std::unique_ptr<WritableFile> file_;
   log::Writer writer_;
   std::function<void(uint64_t, uint64_t)> sync_hook_;  // (records, micros)
+  std::function<void(const Status&, bool)> error_hook_;
 
   mutable std::mutex status_mutex_;
   Status status_;
 
   std::atomic<bool> stop_;
+  std::atomic<bool> closed_;
   std::atomic<uint64_t> enqueued_;
   std::atomic<uint64_t> written_;
 
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
+
+  // Writers blocked in AddRecordSync/Drain park here past their spin
+  // budget; the logger thread notifies after each completed entry while
+  // progress_waiters_ is non-zero.
+  std::atomic<int> progress_waiters_;
+  std::mutex progress_mutex_;
+  std::condition_variable progress_cv_;
 
   std::thread thread_;
 };

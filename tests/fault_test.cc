@@ -7,7 +7,7 @@
 
 #include "src/baselines/factory.h"
 #include "src/core/clsm_db.h"
-#include "tests/fault_env.h"
+#include "src/util/fault_env.h"
 #include "tests/test_util.h"
 
 namespace clsm {

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <thread>
 
+#include "src/workload/generator.h"
+
 namespace clsm {
 
 BenchConfig LoadBenchConfig() {
@@ -40,6 +42,16 @@ BenchConfig LoadBenchConfig() {
   if (dump_sec != nullptr) {
     config.stats_dump_period_sec = static_cast<unsigned>(atoi(dump_sec));
   }
+  const char* perf = getenv("CLSM_BENCH_PERF_LEVEL");
+  if (perf != nullptr) {
+    if (strcmp(perf, "counts") == 0) {
+      config.perf_level = PerfLevel::kEnableCounts;
+    } else if (strcmp(perf, "timers") == 0 || strcmp(perf, "counts+timers") == 0) {
+      config.perf_level = PerfLevel::kEnableTimers;
+    } else if (strcmp(perf, "off") != 0) {
+      fprintf(stderr, "CLSM_BENCH_PERF_LEVEL '%s' not recognized (off|counts|timers)\n", perf);
+    }
+  }
   return config;
 }
 
@@ -59,6 +71,7 @@ Options FigureOptions(const BenchConfig& config) {
   options.write_buffer_size = config.write_buffer_size;  // the "128MB" knob, scaled
   options.sync_logging = false;                          // paper default: async logging
   options.stats_dump_period_sec = config.stats_dump_period_sec;
+  options.perf_level = config.perf_level;
   return options;
 }
 
@@ -89,6 +102,15 @@ DriverResult RunCell(DbVariant variant, const WorkloadSpec& spec, int threads,
   DriverResult result = RunWorkload(db.get(), spec, threads, config.duration_ms);
   db->WaitForMaintenance();
   result.stats_json = db->GetProperty("clsm.stats.json");
+  if (base_options.perf_level != PerfLevel::kDisabled) {
+    // PerfContext is thread-local, so the workers' contexts died with them;
+    // issue one probe read from this thread to capture a representative
+    // attributed operation against the store's post-run shape.
+    std::string probe_key, value;
+    EncodeWorkloadKey(0, spec.key_size, &probe_key);
+    db->Get(ReadOptions(), probe_key, &value);
+    result.perf_json = db->GetProperty("clsm.perf.json");
+  }
   return result;
 }
 
@@ -177,6 +199,7 @@ void ResultTable::AddResult(DbVariant variant, int threads, const DriverResult& 
   cell.p99 = result.latency_micros.Percentile(99);
   cell.p999 = result.latency_micros.Percentile(99.9);
   cell.stats_json = result.stats_json;
+  cell.perf_json = result.perf_json;
   cell.set = true;
 }
 
@@ -202,9 +225,10 @@ bool ResultTable::WriteJson(const std::string& figure_id, const BenchConfig& con
       const Cell& c = it->second;
       fprintf(f, "%s\n{\"system\":\"%s\",\"threads\":%d,\"ops_per_sec\":%.1f,"
                  "\"p50_us\":%.2f,\"p90_us\":%.2f,\"p99_us\":%.2f,\"p999_us\":%.2f,"
-                 "\"stats\":%s}",
+                 "\"stats\":%s,\"perf\":%s}",
               first ? "" : ",", name.c_str(), t, c.value, c.p50, c.p90, c.p99, c.p999,
-              c.stats_json.empty() ? "null" : c.stats_json.c_str());
+              c.stats_json.empty() ? "null" : c.stats_json.c_str(),
+              c.perf_json.empty() ? "null" : c.perf_json.c_str());
       first = false;
     }
   }

@@ -9,6 +9,11 @@
 //   CLSM_BENCH_THREADS comma list overriding the thread sweep, e.g. "1,2,4"
 //   CLSM_BENCH_STATS_DUMP_SEC  period of the in-DB StatsReporter thread
 //                      (0 = off); interval deltas + JSON go to stderr
+//   CLSM_BENCH_PERF_LEVEL  per-op attribution depth for every opened DB:
+//                      "off" (default), "counts", or "timers"
+//                      (= counts+timers). When enabled, each JSON cell
+//                      gains a "perf" field with a post-run probe-read's
+//                      full PerfContext snapshot.
 //
 // NOTE on hardware: the paper runs on a 16-hardware-thread Xeon. On hosts
 // with fewer cores the sweep still runs — oversubscribed — and measures
@@ -40,6 +45,8 @@ struct BenchConfig {
   std::string scale = "smoke";
   // Periodic stats dump inside each opened DB (0 = off).
   unsigned stats_dump_period_sec = 0;
+  // Per-op attribution depth (CLSM_BENCH_PERF_LEVEL).
+  PerfLevel perf_level = PerfLevel::kDisabled;
 };
 
 // Reads CLSM_BENCH_SCALE / CLSM_BENCH_THREADS and returns the config.
@@ -72,7 +79,8 @@ class ResultTable {
   // { "figure": id, "metric": ..., "scale": ..., "duration_ms": N,
   //   "cells": [ { "system": name, "threads": T, "ops_per_sec": X,
   //                "p50_us":..,"p90_us":..,"p99_us":..,"p999_us":..,
-  //                "stats": <the cell's clsm.stats.json snapshot> }, ... ] }
+  //                "stats": <the cell's clsm.stats.json snapshot>,
+  //                "perf": <probe-read clsm.perf.json, null when off> }, ... ] }
   // Returns true on success (creates bench_results/ if needed).
   bool WriteJson(const std::string& figure_id, const BenchConfig& config) const;
 
@@ -84,6 +92,7 @@ class ResultTable {
     double p90 = 0;
     double p50 = 0, p99 = 0, p999 = 0;
     std::string stats_json;
+    std::string perf_json;
     bool set = false;
   };
   std::map<std::string, std::map<int, Cell>> rows_;

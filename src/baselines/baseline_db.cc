@@ -10,8 +10,15 @@
 namespace clsm {
 
 BaselineDbBase::BaselineDbBase(const Options& options, const std::string& dbname)
-    : dbname_(dbname), engine_(options, dbname), metrics_on_(options.latency_metrics) {
+    : dbname_(dbname),
+      engine_(options, dbname),
+      metrics_on_(options.latency_metrics),
+      perf_level_(options.perf_level),
+      slow_op_threshold_nanos_(options.slow_op_threshold_micros * 1000),
+      slow_op_limiter_(options.slow_op_max_per_sec) {
   engine_.SetStatsRegistry(metrics_on_ ? &registry_ : nullptr);
+  trace_ops_ = engine_.listeners().has_op_listeners();
+  attributed_ops_ = trace_ops_ || slow_op_threshold_nanos_ != 0;
 }
 
 Status BaselineDbBase::Init() {
@@ -72,7 +79,9 @@ Status BaselineDbBase::Init() {
           c.stall_micros = stats_.TotalStallMicros();
           return c;
         },
-        [this] { return GetProperty("clsm.stats.json"); });
+        [this] { return GetProperty("clsm.stats.json"); },
+        engine_.options().stats_dump_deltas ? std::function<void()>([this] { ResetStats(); })
+                                            : std::function<void()>());
   }
   return Status::OK();
 }
@@ -99,24 +108,53 @@ BaselineDbBase::~BaselineDbBase() {
 }
 
 Status BaselineDbBase::Put(const WriteOptions& options, const Slice& key, const Slice& value) {
-  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kPut);
   stats_.Bump(stats_.puts_total);
+  PerfContextStartOp(perf_level_);
+  const bool timing = metrics_on_ || attributed_ops_ || tls_perf_context.timers_enabled();
+  const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
   WriteBatch batch;
   batch.Put(key, value);
-  return WriteLocked(options, &batch);
+  bool op_stalled = false;
+  Status s = WriteLocked(options, &batch, &op_stalled);
+  if (metrics_on_) {
+    registry_.Record(OpMetric::kPut, LatencyClock::ToNanos(LatencyClock::Ticks() - t0));
+  }
+  FinishOp(DbOpType::kPut, key, static_cast<uint32_t>(value.size()),
+           s.ok() ? OpOutcome::kOk : OpOutcome::kError, t0, op_stalled);
+  return s;
 }
 
 Status BaselineDbBase::Delete(const WriteOptions& options, const Slice& key) {
-  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kDelete);
   stats_.Bump(stats_.deletes_total);
+  PerfContextStartOp(perf_level_);
+  const bool timing = metrics_on_ || attributed_ops_ || tls_perf_context.timers_enabled();
+  const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
   WriteBatch batch;
   batch.Delete(key);
-  return WriteLocked(options, &batch);
+  bool op_stalled = false;
+  Status s = WriteLocked(options, &batch, &op_stalled);
+  if (metrics_on_) {
+    registry_.Record(OpMetric::kDelete, LatencyClock::ToNanos(LatencyClock::Ticks() - t0));
+  }
+  FinishOp(DbOpType::kDelete, key, 0, s.ok() ? OpOutcome::kOk : OpOutcome::kError, t0,
+           op_stalled);
+  return s;
 }
 
 Status BaselineDbBase::Write(const WriteOptions& options, WriteBatch* updates) {
   stats_.Bump(stats_.batches_total);
-  return WriteLocked(options, updates);
+  PerfContextStartOp(perf_level_);
+  const bool timing = metrics_on_ || attributed_ops_ || tls_perf_context.timers_enabled();
+  const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
+  uint32_t batch_bytes = 0;
+  for (const WriteBatch::Op& op : updates->ops()) {
+    batch_bytes += static_cast<uint32_t>(op.key.size() + op.value.size());
+  }
+  bool op_stalled = false;
+  Status s = WriteLocked(options, updates, &op_stalled);
+  FinishOp(DbOpType::kWrite, Slice(), batch_bytes, s.ok() ? OpOutcome::kOk : OpOutcome::kError,
+           t0, op_stalled);
+  return s;
 }
 
 // LevelDB's single-writer queue with group commit: every writer enqueues
@@ -125,7 +163,8 @@ Status BaselineDbBase::Write(const WriteOptions& options, WriteBatch* updates) {
 // wakes the group. This is the "single synchronization point" whose
 // contention the paper measures (§5.1: throughput decreases as threads
 // contend for the writers queue).
-Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* updates) {
+Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* updates,
+                                   bool* stalled_out) {
   // Degraded read-only mode: fail writes at the door once a hard error is
   // latched (not only when MakeRoomForWrite happens to run).
   if (engine_.bg_error()->writes_blocked()) {
@@ -142,7 +181,7 @@ Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* upda
     return w.status;
   }
 
-  Status status = MakeRoomForWrite(lock);
+  Status status = MakeRoomForWrite(lock, stalled_out);
   Writer* last_writer = &w;
   std::vector<Writer*> group;
   if (status.ok()) {
@@ -171,7 +210,8 @@ Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* upda
       // all-or-nothing. Phase latencies are per member batch: mem_insert
       // covers the memtable adds (plus record encoding), wal_append the
       // logger enqueue.
-      const uint64_t t0 = metrics_on_ ? LatencyClock::Ticks() : 0;
+      const bool pt = tls_perf_context.timers_enabled();
+      const uint64_t t0 = (metrics_on_ || pt) ? LatencyClock::Ticks() : 0;
       std::string record;
       for (const WriteBatch::Op& op : member->batch->ops()) {
         ++seq;
@@ -180,7 +220,7 @@ Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* upda
           EncodeWalRecord(&record, seq, op.type, op.key, op.value);
         }
       }
-      const uint64_t t1 = metrics_on_ ? LatencyClock::Ticks() : 0;
+      const uint64_t t1 = (metrics_on_ || pt) ? LatencyClock::Ticks() : 0;
       if (use_wal && !record.empty()) {
         logger->AddRecordAsync(std::move(record));
       }
@@ -188,6 +228,13 @@ Status BaselineDbBase::WriteLocked(const WriteOptions& options, WriteBatch* upda
         registry_.Record(OpMetric::kMemInsert, LatencyClock::ToNanos(t1 - t0));
         registry_.Record(OpMetric::kWalAppend,
                          LatencyClock::ToNanos(LatencyClock::Ticks() - t1));
+      }
+      if (pt && member == &w) {
+        // PerfContext is thread-local: only the group head's own batch can
+        // be attributed to it. Followers' batches applied here belong to
+        // threads parked in the queue; their contexts only see total time.
+        tls_perf_context.mem_insert_nanos += LatencyClock::ToNanos(t1 - t0);
+        tls_perf_context.wal_append_nanos += LatencyClock::ToNanos(LatencyClock::Ticks() - t1);
       }
     }
     // Publish once, after every entry of every batch in the group is in the
@@ -226,7 +273,7 @@ void BaselineDbBase::SlowdownWait(std::unique_lock<std::mutex>& lock) {
   lock.lock();
 }
 
-Status BaselineDbBase::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+Status BaselineDbBase::MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool* stalled_out) {
   bool allow_delay = true;
   // Bracket the whole blocked interval with one StallBegin/End pair (see
   // ClsmDb::ThrottleIfNeeded) and account it in stats_.
@@ -239,6 +286,7 @@ Status BaselineDbBase::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       if (metrics_on_) {
         registry_.Record(OpMetric::kRollWait, nanos);
       }
+      CLSM_PERF_TIMER_ADD(memtable_roll_wait_nanos, nanos);
       stats_.Add(stats_.stall_micros, static_cast<uint64_t>(nanos / 1000));
       engine_.listeners().NotifyStallEnd(stall_reason, nanos / 1000);
       stalled = false;
@@ -247,6 +295,9 @@ Status BaselineDbBase::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
   auto begin_stall = [&](StallReason reason) {
     if (!stalled) {
       stalled = true;
+      if (stalled_out != nullptr) {
+        *stalled_out = true;
+      }
       stall_reason = reason;
       stall_start_nanos = MonotonicNanos();
       stats_.Bump(stats_.throttle_waits);
@@ -267,11 +318,16 @@ Status BaselineDbBase::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       // A hard stall may be open if an earlier iteration blocked before L0
       // crossed the slowdown trigger; stalls never nest, so close it first.
       end_stall();
+      if (stalled_out != nullptr) {
+        *stalled_out = true;
+      }
       stats_.Bump(stats_.slowdown_waits);
       engine_.listeners().NotifyStallBegin(StallReason::kL0Slowdown);
       const uint64_t t0 = MonotonicNanos();
       SlowdownWait(lock);
-      const uint64_t slow_micros = (MonotonicNanos() - t0) / 1000;
+      const uint64_t slow_nanos = MonotonicNanos() - t0;
+      const uint64_t slow_micros = slow_nanos / 1000;
+      CLSM_PERF_TIMER_ADD(l0_slowdown_sleep_nanos, slow_nanos);
       stats_.Add(stats_.slowdown_micros, slow_micros);
       engine_.listeners().NotifyStallEnd(StallReason::kL0Slowdown, slow_micros);
       continue;
@@ -419,14 +475,29 @@ Status BaselineDbBase::GetInternal(const ReadOptions& options, const Slice& key,
   MemTable* imm;
   RefComponents(&mem, &imm);
 
+  const bool pt = tls_perf_context.timers_enabled();
+  const uint64_t search_t0 = pt ? LatencyClock::Ticks() : 0;
   Status s;
   if (mem->Get(lkey, value, &s, seq_found)) {
     stats_.Bump(stats_.gets_from_mem);
+    if (pt) {
+      tls_perf_context.mem_search_nanos += LatencyClock::ToNanos(LatencyClock::Ticks() - search_t0);
+    }
   } else if (imm != nullptr && imm->Get(lkey, value, &s, seq_found)) {
     stats_.Bump(stats_.gets_from_imm);
+    if (pt) {
+      tls_perf_context.mem_search_nanos += LatencyClock::ToNanos(LatencyClock::Ticks() - search_t0);
+    }
   } else {
+    const uint64_t disk_t0 = pt ? LatencyClock::Ticks() : 0;
+    if (pt) {
+      tls_perf_context.mem_search_nanos += LatencyClock::ToNanos(disk_t0 - search_t0);
+    }
     s = engine_.Get(options, lkey, value, seq_found);
     stats_.Bump(stats_.gets_from_disk);
+    if (pt) {
+      tls_perf_context.disk_search_nanos += LatencyClock::ToNanos(LatencyClock::Ticks() - disk_t0);
+    }
   }
   mem->Unref();
   if (imm != nullptr) {
@@ -453,15 +524,24 @@ Status BaselineDbBase::GetLatestLocked(const ReadOptions& options, const Slice& 
 }
 
 Status BaselineDbBase::Get(const ReadOptions& options, const Slice& key, std::string* value) {
-  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kGet);
   stats_.Bump(stats_.gets_total);
+  PerfContextStartOp(perf_level_);
+  const bool timing = metrics_on_ || attributed_ops_ || tls_perf_context.timers_enabled();
+  const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
   SequenceNumber seq;
   if (options.snapshot != nullptr) {
     seq = static_cast<const SnapshotImpl*>(options.snapshot)->timestamp();
   } else {
     seq = last_sequence_.load(std::memory_order_acquire);
   }
-  return GetInternal(options, key, value, seq, nullptr);
+  Status s = GetInternal(options, key, value, seq, nullptr);
+  if (metrics_on_) {
+    registry_.Record(OpMetric::kGet, LatencyClock::ToNanos(LatencyClock::Ticks() - t0));
+  }
+  FinishOp(DbOpType::kGet, key, s.ok() ? static_cast<uint32_t>(value->size()) : 0,
+           s.ok() ? OpOutcome::kOk : (s.IsNotFound() ? OpOutcome::kNotFound : OpOutcome::kError),
+           t0, /*stalled=*/false);
+  return s;
 }
 
 namespace {
@@ -526,36 +606,48 @@ Status BaselineDbBase::ReadModifyWrite(const WriteOptions& options, const Slice&
   if (performed != nullptr) {
     *performed = false;
   }
-  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kRmw);
   stats_.Bump(stats_.rmw_total);
   if (engine_.bg_error()->writes_blocked()) {
     return engine_.bg_error()->status();
   }
-  std::lock_guard<std::mutex> l(mutex_);
-  std::string current;
-  SequenceNumber seq_found = 0;
-  ReadOptions ro;
-  Status s = GetLatestLocked(ro, key, &current, &seq_found);
-  std::optional<Slice> cur;
-  if (s.ok()) {
-    cur = Slice(current);
+  PerfContextStartOp(perf_level_);
+  const bool timing = metrics_on_ || attributed_ops_ || tls_perf_context.timers_enabled();
+  const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
+  bool did_write = false;
+  uint32_t written_bytes = 0;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    std::string current;
+    SequenceNumber seq_found = 0;
+    ReadOptions ro;
+    Status s = GetLatestLocked(ro, key, &current, &seq_found);
+    std::optional<Slice> cur;
+    if (s.ok()) {
+      cur = Slice(current);
+    }
+    std::optional<std::string> next = f(cur);
+    if (next.has_value()) {
+      MemTable* mem = mem_.load(std::memory_order_acquire);
+      SequenceNumber seq = last_sequence_.load(std::memory_order_relaxed) + 1;
+      mem->Add(seq, kTypeValue, key, *next);
+      if (!engine_.options().disable_wal) {
+        std::string record;
+        EncodeWalRecord(&record, seq, kTypeValue, key, *next);
+        logger_.load(std::memory_order_acquire)->AddRecordAsync(std::move(record));
+      }
+      last_sequence_.store(seq, std::memory_order_release);
+      did_write = true;
+      written_bytes = static_cast<uint32_t>(next->size());
+      if (performed != nullptr) {
+        *performed = true;
+      }
+    }
   }
-  std::optional<std::string> next = f(cur);
-  if (!next.has_value()) {
-    return Status::OK();
+  if (metrics_on_) {
+    registry_.Record(OpMetric::kRmw, LatencyClock::ToNanos(LatencyClock::Ticks() - t0));
   }
-  MemTable* mem = mem_.load(std::memory_order_acquire);
-  SequenceNumber seq = last_sequence_.load(std::memory_order_relaxed) + 1;
-  mem->Add(seq, kTypeValue, key, *next);
-  if (!engine_.options().disable_wal) {
-    std::string record;
-    EncodeWalRecord(&record, seq, kTypeValue, key, *next);
-    logger_.load(std::memory_order_acquire)->AddRecordAsync(std::move(record));
-  }
-  last_sequence_.store(seq, std::memory_order_release);
-  if (performed != nullptr) {
-    *performed = true;
-  }
+  FinishOp(DbOpType::kRmw, key, written_bytes,
+           did_write ? OpOutcome::kOk : OpOutcome::kNotFound, t0, /*stalled=*/false);
   return Status::OK();
 }
 
@@ -581,6 +673,13 @@ std::string BaselineDbBase::GetProperty(const Slice& property) {
     src.engine = &engine_;
     return BuildStatsJson(src);
   }
+  if (property == Slice("clsm.perf.json")) {
+    return tls_perf_context.ToJson();
+  }
+  if (property == Slice("clsm.stats.reset")) {
+    ResetStats();
+    return "OK";
+  }
   if (property == Slice("clsm.bg-error")) {
     return engine_.bg_error()->status().ToString();
   }
@@ -588,6 +687,52 @@ std::string BaselineDbBase::GetProperty(const Slice& property) {
     return engine_.bg_error()->ToString();
   }
   return std::string();
+}
+
+void BaselineDbBase::ResetStats() {
+  stats_.Reset();
+  registry_.Reset();
+  slow_op_limiter_.Reset();
+}
+
+void BaselineDbBase::FinishOp(DbOpType op, const Slice& key, uint32_t value_size,
+                              OpOutcome outcome, uint64_t start_ticks, bool stalled) {
+  if (start_ticks == 0) {
+    return;
+  }
+  const uint64_t total_nanos = LatencyClock::ToNanos(LatencyClock::Ticks() - start_ticks);
+  PerfContext& ctx = tls_perf_context;
+  if (ctx.timers_enabled()) {
+    ctx.total_nanos = total_nanos;
+  }
+  if (!attributed_ops_) {
+    return;
+  }
+  const uint64_t latency_micros = total_nanos / 1000;
+  if (trace_ops_) {
+    OperationInfo info;
+    info.op = op;
+    info.key = key;
+    info.value_size = value_size;
+    info.outcome = outcome;
+    info.latency_micros = latency_micros;
+    engine_.listeners().NotifyOperation(info);
+  }
+  if (slow_op_threshold_nanos_ != 0 && total_nanos >= slow_op_threshold_nanos_) {
+    stats_.Bump(stats_.slow_ops_total);
+    if (slow_op_limiter_.Admit(engine_.env()->NowMicros())) {
+      SlowOpInfo info;
+      info.op = op;
+      info.key_prefix_hash = SlowOpKeyPrefixHash(key);
+      info.latency_micros = latency_micros;
+      info.perf = ctx;
+      info.l0_files = engine_.NumLevelFiles(0);
+      info.stalled = stalled;
+      info.suppressed = slow_op_limiter_.suppressed();
+      engine_.listeners().NotifySlowOperation(info);
+      stats_.Bump(stats_.slow_ops_reported);
+    }
+  }
 }
 
 void BaselineDbBase::WaitForMaintenance() {

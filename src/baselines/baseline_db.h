@@ -28,6 +28,8 @@
 #include "src/core/write_batch.h"
 #include "src/lsm/storage_engine.h"
 #include "src/obs/metrics.h"
+#include "src/obs/perf_context.h"
+#include "src/obs/slow_op.h"
 #include "src/obs/stats_reporter.h"
 
 namespace clsm {
@@ -46,6 +48,7 @@ class BaselineDbBase : public DB {
   Status ReadModifyWrite(const WriteOptions& options, const Slice& key, const RmwFunction& f,
                          bool* performed) override;
   std::string GetProperty(const Slice& property) override;
+  void ResetStats() override;
   void WaitForMaintenance() override;
 
  protected:
@@ -74,8 +77,12 @@ class BaselineDbBase : public DB {
     std::condition_variable cv;
   };
 
-  Status WriteLocked(const WriteOptions& options, WriteBatch* updates);
-  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+  // stalled_out (when non-null) is set to true if this writer, as queue
+  // head, waited in MakeRoomForWrite. Followers in the group-commit queue
+  // report false: their queue wait is ordinary contention, not backpressure.
+  Status WriteLocked(const WriteOptions& options, WriteBatch* updates,
+                     bool* stalled_out = nullptr);
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool* stalled_out = nullptr);
   virtual void RollMemTableLocked();  // requires mutex_
   void FlushImmutable();      // maintenance thread
   void MaintenanceLoop();
@@ -84,6 +91,12 @@ class BaselineDbBase : public DB {
 
   Status GetInternal(const ReadOptions& options, const Slice& key, std::string* value,
                      SequenceNumber seq, SequenceNumber* seq_found);
+
+  // Per-op attribution epilogue — same contract as ClsmDb::FinishOp: closes
+  // the PerfContext, emits rate-bounded slow-op records, appends trace
+  // records. No-op when start_ticks is 0.
+  void FinishOp(DbOpType op, const Slice& key, uint32_t value_size, OpOutcome outcome,
+                uint64_t start_ticks, bool stalled);
   // Latest-version lookup with mutex_ already held (RMW read step).
   Status GetLatestLocked(const ReadOptions& options, const Slice& key, std::string* value,
                          SequenceNumber* seq_found);
@@ -120,6 +133,13 @@ class BaselineDbBase : public DB {
   StatsRegistry registry_;
   bool metrics_on_ = true;  // cached Options::latency_metrics
   std::unique_ptr<StatsReporter> reporter_;
+
+  // --- per-op attribution, cached at open (see ClsmDb) ---
+  PerfLevel perf_level_ = PerfLevel::kDisabled;
+  uint64_t slow_op_threshold_nanos_ = 0;
+  bool trace_ops_ = false;
+  bool attributed_ops_ = false;
+  SlowOpRateLimiter slow_op_limiter_;
 };
 
 }  // namespace clsm

@@ -21,8 +21,15 @@ Status ClsmDb::Open(const Options& options, const std::string& dbname, DB** dbpt
 }
 
 ClsmDb::ClsmDb(const Options& options, const std::string& dbname)
-    : dbname_(dbname), engine_(options, dbname), metrics_on_(options.latency_metrics) {
+    : dbname_(dbname),
+      engine_(options, dbname),
+      metrics_on_(options.latency_metrics),
+      perf_level_(options.perf_level),
+      slow_op_threshold_nanos_(options.slow_op_threshold_micros * 1000),
+      slow_op_limiter_(options.slow_op_max_per_sec) {
   engine_.SetStatsRegistry(metrics_on_ ? &registry_ : nullptr);
+  trace_ops_ = engine_.listeners().has_op_listeners();
+  attributed_ops_ = trace_ops_ || slow_op_threshold_nanos_ != 0;
 }
 
 Status ClsmDb::Init() {
@@ -99,7 +106,9 @@ Status ClsmDb::Init() {
           c.stall_micros = stats_.TotalStallMicros();
           return c;
         },
-        [this] { return GetProperty("clsm.stats.json"); });
+        [this] { return GetProperty("clsm.stats.json"); },
+        engine_.options().stats_dump_deltas ? std::function<void()>([this] { ResetStats(); })
+                                            : std::function<void()>());
   }
   return Status::OK();
 }
@@ -183,7 +192,7 @@ SequenceNumber ClsmDb::AcquireScanTimestamp() {
   return snap_time_.load(std::memory_order_seq_cst);
 }
 
-Status ClsmDb::ThrottleIfNeeded() {
+Status ClsmDb::ThrottleIfNeeded(bool* stalled_out) {
   // cLSM never blocks puts in normal operation; the waits here are (a) Cm
   // full while C'm is still being merged (heavy-compaction mode, §5.3),
   // (b) level 0 past the stop trigger — hard stall until compaction drains
@@ -203,6 +212,10 @@ Status ClsmDb::ThrottleIfNeeded() {
       if (metrics_on_) {
         registry_.Record(OpMetric::kRollWait, nanos);
       }
+      // Both hard-stall flavors (Cm full awaiting the roll/merge, and L0
+      // past the stop trigger) attribute here: from the put's point of view
+      // either way it waited for maintenance to make room.
+      CLSM_PERF_TIMER_ADD(memtable_roll_wait_nanos, nanos);
       engine_.listeners().NotifyStallEnd(stall_reason, nanos / 1000);
       stalled = false;
     }
@@ -215,6 +228,9 @@ Status ClsmDb::ThrottleIfNeeded() {
     if ((mem_full && imm_exists_.load(std::memory_order_acquire)) || l0_stuffed) {
       if (!stalled) {
         stalled = true;
+        if (stalled_out != nullptr) {
+          *stalled_out = true;
+        }
         stall_reason = l0_stuffed ? StallReason::kL0Stop : StallReason::kMemtableFull;
         stall_start_nanos = MonotonicNanos();
         engine_.listeners().NotifyStallBegin(stall_reason);
@@ -247,6 +263,9 @@ Status ClsmDb::ThrottleIfNeeded() {
       // Bounded slowdown: delay this put once by ~1ms so compaction gains
       // on the writers before the stop trigger is reached.
       slowed_down = true;
+      if (stalled_out != nullptr) {
+        *stalled_out = true;
+      }
       stats_.Bump(stats_.slowdown_waits);
       engine_.SignalCompaction();
       engine_.listeners().NotifyStallBegin(StallReason::kL0Slowdown);
@@ -256,6 +275,7 @@ Status ClsmDb::ThrottleIfNeeded() {
                                    std::chrono::steady_clock::now() - t0)
                                    .count();
       stats_.Add(stats_.slowdown_micros, slow_micros);
+      CLSM_PERF_TIMER_ADD(l0_slowdown_sleep_nanos, static_cast<uint64_t>(slow_micros) * 1000);
       engine_.listeners().NotifyStallEnd(StallReason::kL0Slowdown,
                                          static_cast<uint64_t>(slow_micros));
       continue;  // re-check: L0 may have crossed the stop trigger meanwhile
@@ -270,6 +290,51 @@ Status ClsmDb::ThrottleIfNeeded() {
   return Status::OK();
 }
 
+void ClsmDb::FinishOp(DbOpType op, const Slice& key, uint32_t value_size, OpOutcome outcome,
+                      uint64_t start_ticks, bool stalled) {
+  // start_ticks == 0 means no attribution sink asked for timing at op
+  // entry; there is nothing coherent to report.
+  if (start_ticks == 0) {
+    return;
+  }
+  const uint64_t total_nanos = LatencyClock::ToNanos(LatencyClock::Ticks() - start_ticks);
+  PerfContext& ctx = tls_perf_context;
+  if (ctx.timers_enabled()) {
+    ctx.total_nanos = total_nanos;
+  }
+  if (!attributed_ops_) {
+    return;
+  }
+  const uint64_t latency_micros = total_nanos / 1000;
+  if (trace_ops_) {
+    OperationInfo info;
+    info.op = op;
+    info.key = key;
+    info.value_size = value_size;
+    info.outcome = outcome;
+    info.latency_micros = latency_micros;
+    engine_.listeners().NotifyOperation(info);
+  }
+  if (slow_op_threshold_nanos_ != 0 && total_nanos >= slow_op_threshold_nanos_) {
+    stats_.Bump(stats_.slow_ops_total);
+    if (slow_op_limiter_.Admit(engine_.env()->NowMicros())) {
+      // The record carries the PerfContext snapshot as-is; its `level`
+      // field tells consumers whether the counters/timers were populated
+      // for this op (at "off" they are not meaningful).
+      SlowOpInfo info;
+      info.op = op;
+      info.key_prefix_hash = SlowOpKeyPrefixHash(key);
+      info.latency_micros = latency_micros;
+      info.perf = ctx;
+      info.l0_files = engine_.NumLevelFiles(0);
+      info.stalled = stalled;
+      info.suppressed = slow_op_limiter_.suppressed();
+      engine_.listeners().NotifySlowOperation(info);
+      stats_.Bump(stats_.slow_ops_reported);
+    }
+  }
+}
+
 Status ClsmDb::PutInternal(const WriteOptions& options, ValueType type, const Slice& key,
                            const Slice& value) {
   stats_.Bump(type == kTypeValue ? stats_.puts_total : stats_.deletes_total);
@@ -279,21 +344,34 @@ Status ClsmDb::PutInternal(const WriteOptions& options, ValueType type, const Sl
   if (engine_.bg_error()->writes_blocked()) {
     return engine_.bg_error()->status();
   }
-  // Latency probes: four LatencyClock reads when metrics are on (op total
-  // plus the mem-insert and WAL-append phase splits), zero when off.
-  const uint64_t t0 = metrics_on_ ? LatencyClock::Ticks() : 0;
-  Status throttle_status = ThrottleIfNeeded();
+  // Per-op attribution prologue: publish the perf level (resetting the
+  // thread-local context) and take the entry timestamp once for all sinks
+  // — latency histograms, PerfContext timers, slow-op logging, op tracing.
+  PerfContextStartOp(perf_level_);
+  const bool pt = tls_perf_context.timers_enabled();
+  const bool timing = metrics_on_ || attributed_ops_ || pt;
+  const DbOpType op = type == kTypeValue ? DbOpType::kPut : DbOpType::kDelete;
+  const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
+  bool op_stalled = false;
+  Status throttle_status = ThrottleIfNeeded(&op_stalled);
   if (!throttle_status.ok()) {
+    FinishOp(op, key, static_cast<uint32_t>(value.size()), OpOutcome::kError, t0, op_stalled);
     return throttle_status;
   }
+  // Phase boundaries: [t0, pt_a) throttle, [pt_a, t1) lock + getTS,
+  // [t1, t2) memtable insert, [t2, t3) WAL append. The four segments are
+  // contiguous, so their PerfContext timers sum to total_nanos (within
+  // clock-read overhead) — the attribution invariant perf_context_test
+  // checks.
+  const uint64_t pt_a = pt ? LatencyClock::Ticks() : 0;
 
   // Algorithm 2, put.
   lock_.LockShared();
   SequenceNumber ts = GetTS();
   MemTable* mem = mem_.load(std::memory_order_acquire);
-  const uint64_t t1 = metrics_on_ ? LatencyClock::Ticks() : 0;
+  const uint64_t t1 = (metrics_on_ || pt) ? LatencyClock::Ticks() : 0;
   mem->Add(ts, type, key, value);
-  const uint64_t t2 = metrics_on_ ? LatencyClock::Ticks() : 0;
+  const uint64_t t2 = (metrics_on_ || pt) ? LatencyClock::Ticks() : 0;
   if (!engine_.options().disable_wal) {
     std::string record;
     EncodeWalRecord(&record, ts, type, key, value);
@@ -303,6 +381,7 @@ Status ClsmDb::PutInternal(const WriteOptions& options, ValueType type, const Sl
       if (!s.ok()) {
         active_.Remove(ts);
         lock_.UnlockShared();
+        FinishOp(op, key, static_cast<uint32_t>(value.size()), OpOutcome::kError, t0, op_stalled);
         return s;
       }
     } else {
@@ -311,13 +390,23 @@ Status ClsmDb::PutInternal(const WriteOptions& options, ValueType type, const Sl
   }
   active_.Remove(ts);
   lock_.UnlockShared();
-  if (metrics_on_) {
+  if (metrics_on_ || pt) {
     const uint64_t t3 = LatencyClock::Ticks();
-    registry_.Record(OpMetric::kMemInsert, LatencyClock::ToNanos(t2 - t1));
-    registry_.Record(OpMetric::kWalAppend, LatencyClock::ToNanos(t3 - t2));
-    registry_.Record(type == kTypeValue ? OpMetric::kPut : OpMetric::kDelete,
-                     LatencyClock::ToNanos(t3 - t0));
+    if (metrics_on_) {
+      registry_.Record(OpMetric::kMemInsert, LatencyClock::ToNanos(t2 - t1));
+      registry_.Record(OpMetric::kWalAppend, LatencyClock::ToNanos(t3 - t2));
+      registry_.Record(type == kTypeValue ? OpMetric::kPut : OpMetric::kDelete,
+                       LatencyClock::ToNanos(t3 - t0));
+    }
+    if (pt) {
+      PerfContext& ctx = tls_perf_context;
+      ctx.throttle_nanos += LatencyClock::ToNanos(pt_a - t0);
+      ctx.lock_getts_nanos += LatencyClock::ToNanos(t1 - pt_a);
+      ctx.mem_insert_nanos += LatencyClock::ToNanos(t2 - t1);
+      ctx.wal_append_nanos += LatencyClock::ToNanos(t3 - t2);
+    }
   }
+  FinishOp(op, key, static_cast<uint32_t>(value.size()), OpOutcome::kOk, t0, op_stalled);
   return Status::OK();
 }
 
@@ -334,8 +423,19 @@ Status ClsmDb::Write(const WriteOptions& options, WriteBatch* updates) {
   if (engine_.bg_error()->writes_blocked()) {
     return engine_.bg_error()->status();
   }
-  Status throttle_status = ThrottleIfNeeded();
+  PerfContextStartOp(perf_level_);
+  const bool timing = metrics_on_ || attributed_ops_ || tls_perf_context.timers_enabled();
+  const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
+  // Trace records carry the batch's total payload bytes in value_size (the
+  // per-op key/value breakdown is not traced; replay skips kWrite records).
+  uint32_t batch_bytes = 0;
+  for (const WriteBatch::Op& op : updates->ops()) {
+    batch_bytes += static_cast<uint32_t>(op.key.size() + op.value.size());
+  }
+  bool op_stalled = false;
+  Status throttle_status = ThrottleIfNeeded(&op_stalled);
   if (!throttle_status.ok()) {
+    FinishOp(DbOpType::kWrite, Slice(), batch_bytes, OpOutcome::kError, t0, op_stalled);
     return throttle_status;
   }
 
@@ -364,11 +464,16 @@ Status ClsmDb::Write(const WriteOptions& options, WriteBatch* updates) {
     }
   }
   lock_.UnlockExclusive();
+  FinishOp(DbOpType::kWrite, Slice(), batch_bytes, s.ok() ? OpOutcome::kOk : OpOutcome::kError,
+           t0, op_stalled);
   return s;
 }
 
 Status ClsmDb::Get(const ReadOptions& options, const Slice& key, std::string* value) {
-  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kGet);
+  PerfContextStartOp(perf_level_);
+  const bool pt = tls_perf_context.timers_enabled();
+  const bool timing = metrics_on_ || attributed_ops_ || pt;
+  const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
   SequenceNumber seq = kMaxSequenceNumber;
   if (options.snapshot != nullptr) {
     seq = static_cast<const SnapshotImpl*>(options.snapshot)->timestamp();
@@ -391,20 +496,42 @@ Status ClsmDb::Get(const ReadOptions& options, const Slice& key, std::string* va
   }
 
   stats_.Bump(stats_.gets_total);
+  // Attribution split: mem_search covers the Cm/C'm probes, disk_search the
+  // engine (table) lookup; for memtable hits the whole search is mem_search.
+  const uint64_t search_t0 = pt ? LatencyClock::Ticks() : 0;
   Status s;
   if (mem->Get(lkey, value, &s)) {
     stats_.Bump(stats_.gets_from_mem);
+    if (pt) {
+      tls_perf_context.mem_search_nanos += LatencyClock::ToNanos(LatencyClock::Ticks() - search_t0);
+    }
   } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
     stats_.Bump(stats_.gets_from_imm);
+    if (pt) {
+      tls_perf_context.mem_search_nanos += LatencyClock::ToNanos(LatencyClock::Ticks() - search_t0);
+    }
   } else {
+    const uint64_t disk_t0 = pt ? LatencyClock::Ticks() : 0;
+    if (pt) {
+      tls_perf_context.mem_search_nanos += LatencyClock::ToNanos(disk_t0 - search_t0);
+    }
     s = engine_.Get(options, lkey, value);
     stats_.Bump(stats_.gets_from_disk);
+    if (pt) {
+      tls_perf_context.disk_search_nanos += LatencyClock::ToNanos(LatencyClock::Ticks() - disk_t0);
+    }
   }
 
   mem->Unref();
   if (imm != nullptr) {
     imm->Unref();
   }
+  if (metrics_on_) {
+    registry_.Record(OpMetric::kGet, LatencyClock::ToNanos(LatencyClock::Ticks() - t0));
+  }
+  FinishOp(DbOpType::kGet, key, s.ok() ? static_cast<uint32_t>(value->size()) : 0,
+           s.ok() ? OpOutcome::kOk : (s.IsNotFound() ? OpOutcome::kNotFound : OpOutcome::kError),
+           t0, /*stalled=*/false);
   return s;
 }
 
@@ -515,13 +642,17 @@ Status ClsmDb::ReadModifyWrite(const WriteOptions& options, const Slice& key,
   if (performed != nullptr) {
     *performed = false;
   }
-  ScopedLatency probe(metrics_on_ ? &registry_ : nullptr, OpMetric::kRmw);
   stats_.Bump(stats_.rmw_total);
   if (engine_.bg_error()->writes_blocked()) {
     return engine_.bg_error()->status();
   }
-  Status throttle_status = ThrottleIfNeeded();
+  PerfContextStartOp(perf_level_);
+  const bool timing = metrics_on_ || attributed_ops_ || tls_perf_context.timers_enabled();
+  const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
+  bool op_stalled = false;
+  Status throttle_status = ThrottleIfNeeded(&op_stalled);
   if (!throttle_status.ok()) {
+    FinishOp(DbOpType::kRmw, key, 0, OpOutcome::kError, t0, op_stalled);
     return throttle_status;
   }
 
@@ -531,6 +662,8 @@ Status ClsmDb::ReadModifyWrite(const WriteOptions& options, const Slice& key,
   // list's bottom level and resolved by restarting with a fresh timestamp.
   lock_.LockShared();
   Status result;
+  bool did_write = false;
+  uint32_t written_bytes = 0;
   while (true) {
     std::string current;
     ValueType type = kTypeDeletion;
@@ -562,6 +695,8 @@ Status ClsmDb::ReadModifyWrite(const WriteOptions& options, const Slice& key,
         }
       }
       active_.Remove(tsn);
+      did_write = true;
+      written_bytes = static_cast<uint32_t>(next->size());
       if (performed != nullptr) {
         *performed = true;
       }
@@ -574,6 +709,14 @@ Status ClsmDb::ReadModifyWrite(const WriteOptions& options, const Slice& key,
     active_.Remove(tsn);
   }
   lock_.UnlockShared();
+  if (metrics_on_) {
+    registry_.Record(OpMetric::kRmw, LatencyClock::ToNanos(LatencyClock::Ticks() - t0));
+  }
+  // Trace outcome doubles as the replay decision: kOk means the user
+  // function wrote (replay re-applies it), kNotFound means it declined.
+  FinishOp(DbOpType::kRmw, key, written_bytes,
+           !result.ok() ? OpOutcome::kError : (did_write ? OpOutcome::kOk : OpOutcome::kNotFound),
+           t0, op_stalled);
   return result;
 }
 
@@ -759,6 +902,15 @@ std::string ClsmDb::GetProperty(const Slice& property) {
     src.engine = &engine_;
     return BuildStatsJson(src);
   }
+  if (property == Slice("clsm.perf.json")) {
+    // The calling thread's per-op attribution context: the last operation
+    // this thread ran against any DB with perf_level enabled.
+    return tls_perf_context.ToJson();
+  }
+  if (property == Slice("clsm.stats.reset")) {
+    ResetStats();
+    return "OK";
+  }
   if (property == Slice("clsm.stall-micros")) {
     return std::to_string(stats_.TotalStallMicros());
   }
@@ -776,6 +928,12 @@ std::string ClsmDb::GetProperty(const Slice& property) {
     return engine_.bg_error()->status().ToString();
   }
   return std::string();
+}
+
+void ClsmDb::ResetStats() {
+  stats_.Reset();
+  registry_.Reset();
+  slow_op_limiter_.Reset();
 }
 
 }  // namespace clsm

@@ -26,6 +26,8 @@
 #include "src/core/write_batch.h"
 #include "src/lsm/storage_engine.h"
 #include "src/obs/metrics.h"
+#include "src/obs/perf_context.h"
+#include "src/obs/slow_op.h"
 #include "src/obs/stats_reporter.h"
 #include "src/sync/active_set.h"
 #include "src/sync/shared_exclusive_lock.h"
@@ -54,6 +56,7 @@ class ClsmDb final : public DB {
                          bool* performed) override;
   const char* Name() const override { return "clsm"; }
   std::string GetProperty(const Slice& property) override;
+  void ResetStats() override;
   void WaitForMaintenance() override;
 
   // Exposed for tests: the timestamp a fresh serializable scan would use.
@@ -89,8 +92,18 @@ class ClsmDb final : public DB {
   // instead of cliff-stalling them. All waiting time is recorded in Stats.
   // Returns the latched background error, if any, so writers fail fast
   // instead of stalling behind a maintenance pipeline that cannot make
-  // progress.
-  Status ThrottleIfNeeded();
+  // progress. When stalled_out is non-null it is set to true if this call
+  // waited at all (hard stall or slowdown sleep) — the per-op "stalled"
+  // bit of slow-op records.
+  Status ThrottleIfNeeded(bool* stalled_out = nullptr);
+
+  // Per-op attribution epilogue, shared by every public op: closes the
+  // PerfContext (total_nanos), emits a rate-bounded slow-op record when
+  // the op crossed Options::slow_op_threshold_micros, and appends a trace
+  // record when a listener opted into per-op records. start_ticks is 0
+  // when no attribution sink needed timing (then this is a no-op).
+  void FinishOp(DbOpType op, const Slice& key, uint32_t value_size, OpOutcome outcome,
+                uint64_t start_ticks, bool stalled);
 
   // Maintenance thread: rolls memtables (beforeMerge), flushes (merge) and
   // swaps pointers (afterMerge). Compactions run on the storage engine's
@@ -141,6 +154,14 @@ class ClsmDb final : public DB {
   // read (the <5%-overhead escape hatch).
   bool metrics_on_ = true;
   std::unique_ptr<StatsReporter> reporter_;
+
+  // --- per-op attribution (PR-4), all cached at open ---
+  PerfLevel perf_level_ = PerfLevel::kDisabled;
+  uint64_t slow_op_threshold_nanos_ = 0;  // 0 = slow-op logging off
+  bool trace_ops_ = false;   // some listener wants per-op records
+  // True when any attribution sink needs op entry/exit timestamps.
+  bool attributed_ops_ = false;
+  SlowOpRateLimiter slow_op_limiter_;
 };
 
 }  // namespace clsm

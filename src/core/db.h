@@ -74,6 +74,13 @@ class DB {
   // Best-effort stats string for diagnostics and benches.
   virtual std::string GetProperty(const Slice& property) { return std::string(); }
 
+  // Zero the interval-style observability state (DbStats counters, latency
+  // histograms, slow-op rate-limiter accounting) so periodic reporters can
+  // emit true deltas instead of since-process-start accumulations.
+  // Cumulative engine state (levels, write-amp, background errors) is NOT
+  // reset. Also reachable via GetProperty("clsm.stats.reset").
+  virtual void ResetStats() {}
+
   // Block until background flushes/compactions have drained (test/bench
   // hook; not part of the paper's API).
   virtual void WaitForMaintenance() {}

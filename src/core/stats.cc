@@ -46,7 +46,8 @@ std::string DbStats::ToString() const {
       "rmw: total=%llu conflicts=%llu noop=%llu\n"
       "snapshots: acquired=%llu iterators=%llu getts_rollbacks=%llu\n"
       "maintenance: rolls=%llu flushes=%llu compactions=%llu throttle_waits=%llu\n"
-      "stalls: slowdown_waits=%llu slowdown_micros=%llu stall_micros=%llu\n",
+      "stalls: slowdown_waits=%llu slowdown_micros=%llu stall_micros=%llu\n"
+      "slow_ops: total=%llu reported=%llu\n",
       static_cast<unsigned long long>(gets_total.load()),
       static_cast<unsigned long long>(gets_from_mem.load()),
       static_cast<unsigned long long>(gets_from_imm.load()),
@@ -66,8 +67,21 @@ std::string DbStats::ToString() const {
       static_cast<unsigned long long>(throttle_waits.load()),
       static_cast<unsigned long long>(slowdown_waits.load()),
       static_cast<unsigned long long>(slowdown_micros.load()),
-      static_cast<unsigned long long>(stall_micros.load()));
+      static_cast<unsigned long long>(stall_micros.load()),
+      static_cast<unsigned long long>(slow_ops_total.load()),
+      static_cast<unsigned long long>(slow_ops_reported.load()));
   return buf;
+}
+
+void DbStats::Reset() {
+  for (std::atomic<uint64_t>* c :
+       {&gets_total, &gets_from_mem, &gets_from_imm, &gets_from_disk, &puts_total,
+        &deletes_total, &batches_total, &rmw_total, &rmw_conflicts, &rmw_noop,
+        &snapshots_acquired, &iterators_created, &getts_rollbacks, &memtable_rolls, &flushes,
+        &compactions, &throttle_waits, &slowdown_waits, &slowdown_micros, &stall_micros,
+        &slow_ops_total, &slow_ops_reported}) {
+    c->store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace clsm

@@ -112,10 +112,19 @@ class DbStats {
   std::atomic<uint64_t> slowdown_micros{0};  // time spent in slowdown sleeps
   std::atomic<uint64_t> stall_micros{0};     // time spent in hard stop waits
 
+  // --- slow-op structured logging (Options::slow_op_threshold_micros) ---
+  std::atomic<uint64_t> slow_ops_total{0};     // ops over the threshold
+  std::atomic<uint64_t> slow_ops_reported{0};  // of which dispatched to listeners
+
   uint64_t TotalStallMicros() const {
     return slowdown_micros.load(std::memory_order_relaxed) +
            stall_micros.load(std::memory_order_relaxed);
   }
+
+  // Zero every counter (the DB::ResetStats interval-snapshot path). Relaxed
+  // stores; concurrent bumps may survive the sweep, which is acceptable for
+  // monitoring data.
+  void Reset();
 
   void Bump(std::atomic<uint64_t>& counter) {
     counter.fetch_add(1, std::memory_order_relaxed);

@@ -1,5 +1,6 @@
 #include "src/lsm/memtable.h"
 
+#include "src/obs/perf_context.h"
 #include "src/util/coding.h"
 
 namespace clsm {
@@ -81,6 +82,7 @@ bool MemTable::AddIfNoConflict(SequenceNumber seq, ValueType type, const Slice& 
 
 bool MemTable::Get(const LookupKey& lookup_key, std::string* value, Status* s,
                    SequenceNumber* seq_found) {
+  CLSM_PERF_COUNT_ADD(memtable_probes, 1);
   Slice memkey = lookup_key.memtable_key();
   Table::Iterator iter(&table_);
   iter.Seek(memkey.data());

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "src/lsm/filename.h"
+#include "src/obs/perf_context.h"
 #include "src/table/merging_iterator.h"
 #include "src/util/coding.h"
 #include "src/wal/log_reader.h"
@@ -228,6 +229,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k, std::string*
     std::string candidate;
     saver.state = kNotFound;
     saver.value = &candidate;
+    CLSM_PERF_COUNT_ADD(table_reads_per_level[0], 1);
     Status s = vset_->table_cache_->Get(options, f->number, f->file_size, ikey, &saver,
                                         &SaveValue);
     if (!s.ok()) {
@@ -272,6 +274,9 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k, std::string*
       continue;
     }
     saver.state = kNotFound;
+    static_assert(kNumLevels <= PerfContext::kMaxLevels,
+                  "per-level table-read attribution array too small");
+    CLSM_PERF_COUNT_ADD(table_reads_per_level[level], 1);
     Status s = vset_->table_cache_->Get(options, f->number, f->file_size, ikey, &saver,
                                         &SaveValue);
     if (!s.ok()) {

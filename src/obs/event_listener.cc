@@ -36,6 +36,34 @@ const char* BgErrorSeverityName(BgErrorSeverity s) {
   return "unknown";
 }
 
+const char* DbOpTypeName(DbOpType op) {
+  switch (op) {
+    case DbOpType::kPut:
+      return "put";
+    case DbOpType::kDelete:
+      return "delete";
+    case DbOpType::kGet:
+      return "get";
+    case DbOpType::kWrite:
+      return "write";
+    case DbOpType::kRmw:
+      return "rmw";
+  }
+  return "unknown";
+}
+
+const char* OpOutcomeName(OpOutcome o) {
+  switch (o) {
+    case OpOutcome::kOk:
+      return "ok";
+    case OpOutcome::kNotFound:
+      return "not_found";
+    case OpOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
 const char* StallReasonName(StallReason r) {
   switch (r) {
     case StallReason::kMemtableFull:
@@ -99,6 +127,18 @@ void ListenerSet::NotifyWalSync(const WalSyncInfo& info) const {
 void ListenerSet::NotifyBackgroundError(const BackgroundErrorInfo& info) const {
   for (const auto& l : listeners_) {
     l->OnBackgroundError(info);
+  }
+}
+
+void ListenerSet::NotifyOperation(const OperationInfo& info) const {
+  for (EventListener* l : op_listeners_) {
+    l->OnOperation(info);
+  }
+}
+
+void ListenerSet::NotifySlowOperation(const SlowOpInfo& info) const {
+  for (const auto& l : listeners_) {
+    l->OnSlowOperation(info);
   }
 }
 

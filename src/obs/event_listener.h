@@ -18,6 +18,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/perf_context.h"
+#include "src/util/slice.h"
 #include "src/util/status.h"
 
 namespace clsm {
@@ -81,6 +83,53 @@ struct WalSyncInfo {
   uint64_t micros = 0;   // duration of the fsync
 };
 
+// Public operation kinds for the per-op hooks (OnOperation /
+// OnSlowOperation and the trace format). Values are part of the on-disk
+// trace encoding — append only.
+enum class DbOpType : int {
+  kPut = 0,
+  kDelete = 1,
+  kGet = 2,
+  kWrite = 3,  // atomic batch
+  kRmw = 4,
+};
+const char* DbOpTypeName(DbOpType op);
+
+// How the operation ended, as seen by the caller. Part of the trace
+// encoding — append only.
+enum class OpOutcome : int {
+  kOk = 0,
+  kNotFound = 1,
+  kError = 2,
+};
+const char* OpOutcomeName(OpOutcome o);
+
+// One completed public operation (fired on the caller's thread, at op
+// exit, only to listeners that opted in via WantsOperationRecords). `key`
+// borrows the caller's memory: valid only for the duration of the hook.
+struct OperationInfo {
+  DbOpType op = DbOpType::kPut;
+  Slice key;
+  uint32_t value_size = 0;   // bytes written (puts) or returned (gets)
+  OpOutcome outcome = OpOutcome::kOk;
+  uint64_t latency_micros = 0;
+};
+
+// A completed operation that exceeded Options::slow_op_threshold_micros.
+// Carries enough to explain the outlier without a debugger: the full
+// PerfContext snapshot (phase detail at kEnableTimers) plus the store
+// state that usually explains write tails. The raw key is deliberately
+// absent — only a prefix hash, so slow-op logs never leak key material.
+struct SlowOpInfo {
+  DbOpType op = DbOpType::kPut;
+  uint64_t key_prefix_hash = 0;  // FNV-1a of the first <= 8 key bytes
+  uint64_t latency_micros = 0;
+  PerfContext perf;              // copied snapshot from the op's thread
+  int l0_files = 0;              // level-0 file count at op exit
+  bool stalled = false;          // op waited in backpressure
+  uint64_t suppressed = 0;       // records dropped by the rate bound so far
+};
+
 class EventListener {
  public:
   virtual ~EventListener() = default;
@@ -108,6 +157,25 @@ class EventListener {
   // into read-only degraded mode. Fired once per observed event, which
   // may be more often than the sticky error changes.
   virtual void OnBackgroundError(const BackgroundErrorInfo& info) {}
+
+  // --- per-operation hooks ---
+
+  // Opt-in gate for OnOperation. Per-op dispatch sits on the Put/Get fast
+  // path, so the DB precomputes the subset of listeners that want it; a
+  // listener set with no takers costs the write path one cached-bool
+  // check. Must return a constant (it is sampled once at DB open).
+  virtual bool WantsOperationRecords() const { return false; }
+
+  // Every completed public operation (only if WantsOperationRecords()).
+  // Runs on the operation's own thread: anything slower than appending to
+  // a buffer here is a per-op tax on the store.
+  virtual void OnOperation(const OperationInfo& info) {}
+
+  // An operation crossed Options::slow_op_threshold_micros. Bounded to
+  // Options::slow_op_max_per_sec dispatches per second, so this hook may
+  // do modestly more work (e.g. format a JSONL line) than OnOperation.
+  // Fired for every listener, no opt-in needed.
+  virtual void OnSlowOperation(const SlowOpInfo& info) {}
 };
 
 // Fan-out dispatcher owned by each DB instance; empty-set dispatch is a
@@ -116,9 +184,18 @@ class ListenerSet {
  public:
   ListenerSet() = default;
   explicit ListenerSet(std::vector<std::shared_ptr<EventListener>> listeners)
-      : listeners_(std::move(listeners)) {}
+      : listeners_(std::move(listeners)) {
+    for (const auto& l : listeners_) {
+      if (l != nullptr && l->WantsOperationRecords()) {
+        op_listeners_.push_back(l.get());
+      }
+    }
+  }
 
   bool empty() const { return listeners_.empty(); }
+  // True when some listener opted into per-op records; the DBs cache this
+  // at open so the op fast path pays one bool test, not a virtual call.
+  bool has_op_listeners() const { return !op_listeners_.empty(); }
 
   void NotifyMemtableRoll(uint64_t memtable_bytes) const;
   void NotifyFlushBegin(const FlushJobInfo& info) const;
@@ -129,9 +206,13 @@ class ListenerSet {
   void NotifyStallEnd(StallReason reason, uint64_t micros) const;
   void NotifyWalSync(const WalSyncInfo& info) const;
   void NotifyBackgroundError(const BackgroundErrorInfo& info) const;
+  void NotifyOperation(const OperationInfo& info) const;  // opt-in subset only
+  void NotifySlowOperation(const SlowOpInfo& info) const;
 
  private:
   std::vector<std::shared_ptr<EventListener>> listeners_;
+  // Raw borrowed pointers into listeners_ (same lifetime).
+  std::vector<EventListener*> op_listeners_;
 };
 
 }  // namespace clsm

@@ -31,7 +31,18 @@ const char* OpMetricName(OpMetric m) {
   return "unknown";
 }
 
-#ifdef CLSM_HAVE_RDTSC
+#if defined(CLSM_HAVE_CNTVCT)
+double LatencyClock::NanosPerTick() {
+  // The generic timer's frequency is architecturally discoverable — no
+  // calibration spin needed.
+  static const double scale = [] {
+    uint64_t freq_hz;
+    asm volatile("mrs %0, cntfrq_el0" : "=r"(freq_hz));
+    return freq_hz != 0 ? 1e9 / static_cast<double>(freq_hz) : 1.0;
+  }();
+  return scale;
+}
+#elif defined(CLSM_HAVE_RDTSC)
 double LatencyClock::NanosPerTick() {
   // Calibrated once per process against steady_clock over a ~200us spin
   // (sub-0.1% error; the TSC is invariant on x86-64). Thread-safe magic

@@ -16,6 +16,11 @@
 #if defined(__x86_64__) || defined(_M_X64)
 #include <x86intrin.h>
 #define CLSM_HAVE_RDTSC 1
+#elif defined(__aarch64__)
+// The generic timer's virtual counter: constant-rate, monotonic across
+// cores, readable from EL0 in a few cycles — the aarch64 analogue of the
+// invariant TSC.
+#define CLSM_HAVE_CNTVCT 1
 #endif
 
 #include "src/util/histogram.h"
@@ -54,22 +59,30 @@ inline uint64_t MonotonicNanos() {
 // the instrumentation overhead budget (<5%) on a sub-microsecond memtable
 // hit. On x86-64 the TSC is invariant/constant-rate on every CPU this
 // targets, reads in ~8ns, and is converted to nanoseconds with a scale
-// calibrated once against steady_clock. Elsewhere it IS MonotonicNanos.
-// Long-interval timing (flushes, compactions, stalls) stays on
-// MonotonicNanos: the clock cost is noise there and wall-clock semantics
-// are simpler.
+// calibrated once against steady_clock. On aarch64 the generic timer's
+// virtual counter (cntvct_el0) plays the same role, scaled by the
+// architecturally reported frequency (cntfrq_el0). Every other target
+// falls back to steady_clock behind the same interface — slower probes,
+// identical semantics — so the build and the probe-overhead story hold on
+// any architecture. Long-interval timing (flushes, compactions, stalls)
+// stays on MonotonicNanos: the clock cost is noise there and wall-clock
+// semantics are simpler.
 class LatencyClock {
  public:
   static uint64_t Ticks() {
-#ifdef CLSM_HAVE_RDTSC
+#if defined(CLSM_HAVE_RDTSC)
     return __rdtsc();
+#elif defined(CLSM_HAVE_CNTVCT)
+    uint64_t v;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+    return v;
 #else
     return MonotonicNanos();
 #endif
   }
 
   static uint64_t ToNanos(uint64_t ticks) {
-#ifdef CLSM_HAVE_RDTSC
+#if defined(CLSM_HAVE_RDTSC) || defined(CLSM_HAVE_CNTVCT)
     return static_cast<uint64_t>(static_cast<double>(ticks) * NanosPerTick());
 #else
     return ticks;
@@ -77,7 +90,7 @@ class LatencyClock {
   }
 
  private:
-  static double NanosPerTick();  // calibrated on first use
+  static double NanosPerTick();  // calibrated / read once on first use
 };
 
 class StatsRegistry {

@@ -1,0 +1,241 @@
+#include "src/obs/op_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+#include "src/util/coding.h"
+
+namespace clsm {
+
+const char kTraceMagic[8] = {'C', 'L', 'S', 'M', 'T', 'R', 'C', '1'};
+
+TraceWriter::TraceWriter(std::string path, Env* env)
+    : path_(std::move(path)), env_(env != nullptr ? env : Env::Default()) {
+  std::lock_guard<std::mutex> l(mu_);
+  io_status_ = env_->NewWritableFile(path_, &file_);
+  if (io_status_.ok()) {
+    io_status_ = file_->Append(Slice(kTraceMagic, sizeof(kTraceMagic)));
+  }
+}
+
+TraceWriter::~TraceWriter() { Finish(); }
+
+bool TraceWriter::ok() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return io_status_.ok();
+}
+
+void TraceWriter::OnOperation(const OperationInfo& info) {
+  const uint64_t now = env_->NowMicros();
+  std::lock_guard<std::mutex> l(mu_);
+  if (!io_status_.ok() || file_ == nullptr) {
+    return;
+  }
+  if (records_.load(std::memory_order_relaxed) == 0) {
+    first_ts_micros_ = last_ts_micros_ = now;
+  }
+  // Completion timestamps from one monotonic-enough source; clamp the
+  // occasional cross-thread inversion to delta 0 so replay order == file
+  // order stays causally sane.
+  const uint64_t ts = now > last_ts_micros_ ? now : last_ts_micros_;
+  uint32_t& tid = thread_ids_[std::this_thread::get_id()];
+  if (tid == 0) {
+    tid = static_cast<uint32_t>(thread_ids_.size());  // dense ids from 1
+  }
+
+  std::string rec;
+  rec.reserve(24 + info.key.size());
+  PutVarint64(&rec, ts - last_ts_micros_);
+  PutVarint32(&rec, tid - 1);
+  rec.push_back(static_cast<char>(info.op));
+  rec.push_back(static_cast<char>(info.outcome));
+  PutVarint64(&rec, info.latency_micros);
+  PutLengthPrefixedSlice(&rec, info.key);
+  PutVarint32(&rec, info.value_size);
+  last_ts_micros_ = ts;
+
+  io_status_ = file_->Append(rec);
+  if (io_status_.ok()) {
+    records_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status TraceWriter::Finish() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) {
+    return io_status_;
+  }
+  Status s = file_->Flush();
+  if (s.ok()) {
+    s = file_->Close();
+  }
+  file_.reset();
+  if (io_status_.ok()) {
+    io_status_ = s;
+  }
+  return io_status_;
+}
+
+Status TraceReader::Open(Env* env, const std::string& path) {
+  if (env == nullptr) {
+    env = Env::Default();
+  }
+  status_ = ReadFileToString(env, path, &contents_);
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (contents_.size() < sizeof(kTraceMagic) ||
+      std::memcmp(contents_.data(), kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    status_ = Status::Corruption("not a clsm trace file: " + path);
+    return status_;
+  }
+  cursor_ = Slice(contents_.data() + sizeof(kTraceMagic), contents_.size() - sizeof(kTraceMagic));
+  ts_micros_ = 0;
+  return Status::OK();
+}
+
+bool TraceReader::Next(TraceRecord* rec) {
+  if (!status_.ok() || cursor_.empty()) {
+    return false;
+  }
+  uint64_t delta = 0, latency = 0;
+  uint32_t tid = 0, value_size = 0;
+  Slice key;
+  if (!GetVarint64(&cursor_, &delta) || !GetVarint32(&cursor_, &tid) || cursor_.size() < 2) {
+    status_ = Status::Corruption("truncated trace record");
+    return false;
+  }
+  const uint8_t op = static_cast<uint8_t>(cursor_[0]);
+  const uint8_t outcome = static_cast<uint8_t>(cursor_[1]);
+  cursor_.remove_prefix(2);
+  if (op > static_cast<uint8_t>(DbOpType::kRmw) ||
+      outcome > static_cast<uint8_t>(OpOutcome::kError)) {
+    status_ = Status::Corruption("bad op/outcome byte in trace record");
+    return false;
+  }
+  if (!GetVarint64(&cursor_, &latency) || !GetLengthPrefixedSlice(&cursor_, &key) ||
+      !GetVarint32(&cursor_, &value_size)) {
+    status_ = Status::Corruption("truncated trace record");
+    return false;
+  }
+  ts_micros_ += delta;
+  rec->ts_micros = ts_micros_;
+  rec->thread_id = tid;
+  rec->op = static_cast<DbOpType>(op);
+  rec->outcome = static_cast<OpOutcome>(outcome);
+  rec->latency_micros = latency;
+  rec->key.assign(key.data(), key.size());
+  rec->value_size = value_size;
+  return true;
+}
+
+std::string TraceRecordToJson(const TraceRecord& rec) {
+  // Keys may hold arbitrary bytes; emit them hex-encoded so the JSONL dump
+  // is always valid JSON.
+  static const char* kHex = "0123456789abcdef";
+  std::string key_hex;
+  key_hex.reserve(rec.key.size() * 2);
+  for (unsigned char c : rec.key) {
+    key_hex.push_back(kHex[c >> 4]);
+    key_hex.push_back(kHex[c & 0xf]);
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ts_micros\":%" PRIu64 ",\"thread\":%u,\"op\":\"%s\",\"outcome\":\"%s\","
+                "\"latency_micros\":%" PRIu64 ",\"value_size\":%u,\"key_hex\":\"",
+                rec.ts_micros, rec.thread_id, DbOpTypeName(rec.op), OpOutcomeName(rec.outcome),
+                rec.latency_micros, rec.value_size);
+  std::string out(buf);
+  out.append(key_hex);
+  out.append("\"}");
+  return out;
+}
+
+Status SummarizeTrace(Env* env, const std::string& path, TraceSummary* out) {
+  TraceReader reader;
+  Status s = reader.Open(env, path);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unordered_map<std::string, uint64_t> key_counts;
+  uint32_t max_thread = 0;
+  bool any = false;
+  TraceRecord rec;
+  while (reader.Next(&rec)) {
+    any = true;
+    out->records++;
+    out->ops_by_type[static_cast<int>(rec.op)]++;
+    out->outcomes[static_cast<int>(rec.outcome)]++;
+    out->duration_micros = rec.ts_micros;  // deltas sum from 0
+    out->total_value_bytes += rec.value_size;
+    out->latency_micros.Add(static_cast<double>(rec.latency_micros));
+    if (rec.thread_id + 1 > max_thread) {
+      max_thread = rec.thread_id + 1;
+    }
+    uint64_t& n = key_counts[rec.key];
+    n++;
+    if (n > out->hottest_key_ops) {
+      out->hottest_key_ops = n;
+      out->hottest_key = rec.key;
+    }
+  }
+  out->distinct_keys = key_counts.size();
+  out->threads = any ? max_thread : 0;
+  return reader.status();
+}
+
+std::string TraceSummary::ToString() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "records: %" PRIu64 "  threads: %u  duration: %.3f s  value bytes: %" PRIu64 "\n",
+                records, threads, static_cast<double>(duration_micros) / 1e6, total_value_bytes);
+  out.append(buf);
+  out.append("op mix:");
+  for (int i = 0; i <= static_cast<int>(DbOpType::kRmw); i++) {
+    if (ops_by_type[i] != 0) {
+      std::snprintf(buf, sizeof(buf), "  %s=%" PRIu64 " (%.1f%%)",
+                    DbOpTypeName(static_cast<DbOpType>(i)), ops_by_type[i],
+                    records != 0 ? 100.0 * static_cast<double>(ops_by_type[i]) /
+                                       static_cast<double>(records)
+                                 : 0.0);
+      out.append(buf);
+    }
+  }
+  out.append("\noutcomes:");
+  for (int i = 0; i <= static_cast<int>(OpOutcome::kError); i++) {
+    std::snprintf(buf, sizeof(buf), "  %s=%" PRIu64, OpOutcomeName(static_cast<OpOutcome>(i)),
+                  outcomes[i]);
+    out.append(buf);
+  }
+  // Keys are arbitrary bytes; render non-printable ones as \xNN so binary
+  // (e.g. big-endian integer) keys stay legible.
+  std::string printable_key;
+  for (char c : hottest_key) {
+    if (c >= 0x20 && c < 0x7f) {
+      printable_key.push_back(c);
+    } else {
+      char esc[8];
+      std::snprintf(esc, sizeof(esc), "\\x%02x", static_cast<unsigned char>(c));
+      printable_key.append(esc);
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\nkey skew: %" PRIu64 " distinct keys; hottest key \"%s\" took %" PRIu64
+                " ops (%.1f%%)\n",
+                distinct_keys, printable_key.c_str(), hottest_key_ops,
+                records != 0
+                    ? 100.0 * static_cast<double>(hottest_key_ops) / static_cast<double>(records)
+                    : 0.0);
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "latency us: p50=%.1f p90=%.1f p99=%.1f p999=%.1f max=%.1f\n",
+                latency_micros.Percentile(50), latency_micros.Percentile(90),
+                latency_micros.Percentile(99), latency_micros.Percentile(99.9),
+                latency_micros.Max());
+  out.append(buf);
+  return out;
+}
+
+}  // namespace clsm

@@ -1,0 +1,127 @@
+// Operation trace record/replay (tentpole part 3): every public operation
+// becomes one compact binary record — timestamp, thread, op, key, value
+// size, outcome, latency — written by a TraceWriter listener, so any
+// observed anomaly can be turned into a reproducible benchmark input and
+// replayed against any variant by the clsm_trace tool.
+//
+// File format ("CLSMTRC1"):
+//   magic            8 bytes  "CLSMTRC1"
+//   record*:
+//     ts_delta       varint64  microseconds since the previous record
+//     thread_id      varint32  dense per-trace id of the recording thread
+//     op             1 byte    DbOpType
+//     outcome        1 byte    OpOutcome
+//     latency_micros varint64
+//     key_len        varint32, followed by the raw key bytes
+//     value_size     varint32  bytes written (puts) / returned (gets)
+// Values themselves are not recorded (they would dominate trace size);
+// replay regenerates a deterministic filler of the recorded size, which
+// preserves op mix, key access pattern, write volume and found/not-found
+// outcomes — everything the paper's workloads are parameterized by.
+#ifndef CLSM_OBS_OP_TRACE_H_
+#define CLSM_OBS_OP_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/obs/event_listener.h"
+#include "src/util/env.h"
+#include "src/util/histogram.h"
+
+namespace clsm {
+
+extern const char kTraceMagic[8];  // "CLSMTRC1"
+
+// One decoded trace record. ts_micros is absolute within the trace
+// (deltas are re-summed by the reader), starting at the first record's
+// arrival time of 0.
+struct TraceRecord {
+  uint64_t ts_micros = 0;
+  uint32_t thread_id = 0;
+  DbOpType op = DbOpType::kPut;
+  OpOutcome outcome = OpOutcome::kOk;
+  uint64_t latency_micros = 0;
+  std::string key;
+  uint32_t value_size = 0;
+};
+
+// EventListener that appends one binary record per completed operation.
+// Register it in Options::listeners (it opts into per-op records);
+// serializes internally, so one writer may observe a multi-threaded
+// workload — records appear in completion order.
+class TraceWriter : public EventListener {
+ public:
+  // env == nullptr means Env::Default().
+  TraceWriter(std::string path, Env* env = nullptr);
+  ~TraceWriter() override;
+
+  bool WantsOperationRecords() const override { return true; }
+  void OnOperation(const OperationInfo& info) override;
+
+  // Flush + close the trace file; further records are dropped. Returns the
+  // first IO error, if any. Idempotent; the dtor calls it.
+  Status Finish();
+
+  uint64_t records_written() const { return records_.load(std::memory_order_relaxed); }
+  bool ok() const;
+
+ private:
+  const std::string path_;
+  Env* const env_;
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;      // guarded by mu_
+  Status io_status_;                        // guarded by mu_
+  uint64_t last_ts_micros_ = 0;             // guarded by mu_
+  uint64_t first_ts_micros_ = 0;            // guarded by mu_
+  std::map<std::thread::id, uint32_t> thread_ids_;  // guarded by mu_
+  std::atomic<uint64_t> records_{0};
+};
+
+// Decodes a trace file record by record. Loads the file up front (traces
+// are read by tools/tests, not hot paths).
+class TraceReader {
+ public:
+  Status Open(Env* env, const std::string& path);
+
+  // False at clean end-of-trace OR on corruption; check status().
+  bool Next(TraceRecord* rec);
+
+  const Status& status() const { return status_; }
+
+ private:
+  std::string contents_;
+  Slice cursor_;
+  uint64_t ts_micros_ = 0;
+  Status status_;
+};
+
+// One JSON object per record (the clsm_trace dump format).
+std::string TraceRecordToJson(const TraceRecord& rec);
+
+// Aggregate shape of a trace: op mix, outcomes, latency percentiles, key
+// skew (distinct keys + fraction of ops hitting the hottest key).
+struct TraceSummary {
+  uint64_t records = 0;
+  uint64_t ops_by_type[5] = {};       // indexed by DbOpType
+  uint64_t outcomes[3] = {};          // indexed by OpOutcome
+  uint64_t duration_micros = 0;       // last ts - first ts
+  uint64_t distinct_keys = 0;
+  uint64_t hottest_key_ops = 0;       // ops on the most-touched key
+  std::string hottest_key;
+  uint64_t total_value_bytes = 0;
+  Histogram latency_micros;
+  uint32_t threads = 0;
+
+  std::string ToString() const;
+};
+
+Status SummarizeTrace(Env* env, const std::string& path, TraceSummary* out);
+
+}  // namespace clsm
+
+#endif  // CLSM_OBS_OP_TRACE_H_

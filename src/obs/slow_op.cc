@@ -1,0 +1,57 @@
+#include "src/obs/slow_op.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace clsm {
+
+std::string SlowOpToJson(const SlowOpInfo& info, uint64_t wall_micros) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ts_micros\":%" PRIu64 ",\"op\":\"%s\",\"key_prefix_hash\":\"%016" PRIx64
+                "\",\"latency_micros\":%" PRIu64 ",\"l0_files\":%d,\"stalled\":%s,"
+                "\"suppressed\":%" PRIu64 ",\"perf\":",
+                wall_micros, DbOpTypeName(info.op), info.key_prefix_hash, info.latency_micros,
+                info.l0_files, info.stalled ? "true" : "false", info.suppressed);
+  std::string out(buf);
+  out.append(info.perf.ToJson());
+  out.push_back('}');
+  return out;
+}
+
+SlowOpJsonlSink::SlowOpJsonlSink(std::string path, Env* env)
+    : path_(std::move(path)), env_(env != nullptr ? env : Env::Default()) {
+  std::lock_guard<std::mutex> l(mu_);
+  io_status_ = env_->NewWritableFile(path_, &file_);
+}
+
+SlowOpJsonlSink::~SlowOpJsonlSink() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ != nullptr) {
+    file_->Flush();
+    file_->Close();
+  }
+}
+
+bool SlowOpJsonlSink::ok() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return io_status_.ok();
+}
+
+void SlowOpJsonlSink::OnSlowOperation(const SlowOpInfo& info) {
+  std::string line = SlowOpToJson(info, env_->NowMicros());
+  line.push_back('\n');
+  std::lock_guard<std::mutex> l(mu_);
+  if (!io_status_.ok() || file_ == nullptr) {
+    return;  // latched: a broken sink must not disturb the store
+  }
+  io_status_ = file_->Append(line);
+  if (io_status_.ok()) {
+    // Slow ops are rare (rate-bounded) — flush each line so a crash keeps
+    // the records that explain it.
+    file_->Flush();
+    lines_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace clsm

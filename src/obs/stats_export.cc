@@ -98,6 +98,8 @@ void EmitCounters(JsonOut& j, const DbStats& s) {
   j.U64("compactions", s.compactions.load(std::memory_order_relaxed));
   j.U64("throttle_waits", s.throttle_waits.load(std::memory_order_relaxed));
   j.U64("slowdown_waits", s.slowdown_waits.load(std::memory_order_relaxed));
+  j.U64("slow_ops_total", s.slow_ops_total.load(std::memory_order_relaxed));
+  j.U64("slow_ops_reported", s.slow_ops_reported.load(std::memory_order_relaxed));
   j.EndObject();
 }
 

@@ -8,12 +8,17 @@ namespace clsm {
 
 StatsReporter::StatsReporter(std::string tag, unsigned period_sec,
                              std::function<ReporterCounters()> counters_fn,
-                             std::function<std::string()> json_fn)
+                             std::function<std::string()> json_fn,
+                             std::function<void()> reset_fn)
     : tag_(std::move(tag)),
       period_sec_(period_sec),
       counters_fn_(std::move(counters_fn)),
       json_fn_(std::move(json_fn)),
-      thread_([this] { Loop(); }) {}
+      reset_fn_(std::move(reset_fn)) {
+  if (period_sec_ > 0) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
 
 StatsReporter::~StatsReporter() { Stop(); }
 
@@ -57,6 +62,12 @@ void StatsReporter::Loop() {
     prev = cur;
     prev_time = now;
     dumps_.fetch_add(1, std::memory_order_relaxed);
+    if (reset_fn_) {
+      reset_fn_();
+      // The reset zeroed the live counters underneath the sampled values;
+      // resample so the next interval's deltas start from the new baseline.
+      prev = counters_fn_();
+    }
   }
 }
 

@@ -28,11 +28,16 @@ struct ReporterCounters {
 class StatsReporter {
  public:
   // tag: printed on every line (the variant name). counters_fn samples the
-  // live counters; json_fn renders the full snapshot. Both run on the
-  // reporter thread and must stay valid until Stop()/destruction.
+  // live counters; json_fn renders the full snapshot. reset_fn, if set, runs
+  // after each dump (the Options::stats_dump_deltas mode: every interval's
+  // JSON then covers only that interval). All three run on the reporter
+  // thread and must stay valid until Stop()/destruction. period_sec == 0
+  // disables the reporter entirely: no thread is spawned and NumDumps()
+  // stays 0 (callers need not special-case construction).
   StatsReporter(std::string tag, unsigned period_sec,
                 std::function<ReporterCounters()> counters_fn,
-                std::function<std::string()> json_fn);
+                std::function<std::string()> json_fn,
+                std::function<void()> reset_fn = nullptr);
   ~StatsReporter();
 
   StatsReporter(const StatsReporter&) = delete;
@@ -51,6 +56,7 @@ class StatsReporter {
   const unsigned period_sec_;
   const std::function<ReporterCounters()> counters_fn_;
   const std::function<std::string()> json_fn_;
+  const std::function<void()> reset_fn_;
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,47 @@
+// Replays a recorded operation trace (src/obs/op_trace.h) against a live
+// DB — any variant — turning an observed anomaly into a reproducible
+// benchmark input. Lives next to op_trace but compiles in clsm_core (it
+// needs the DB interface; same layering exception as stats_export.cc).
+#ifndef CLSM_OBS_TRACE_REPLAY_H_
+#define CLSM_OBS_TRACE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/env.h"
+#include "src/util/histogram.h"
+#include "src/util/status.h"
+
+namespace clsm {
+
+class DB;
+
+struct ReplayOptions {
+  // Preserve recorded inter-arrival gaps (sleep out each delta) instead of
+  // issuing ops back-to-back (compressed timing, the default: replay as a
+  // throughput benchmark rather than a load reproduction).
+  bool preserve_timing = false;
+  // Compare each Get/Rmw outcome (found / not-found) against the recorded
+  // one and count divergence in ReplayResult::outcome_mismatches.
+  bool verify_outcomes = true;
+};
+
+struct ReplayResult {
+  uint64_t ops = 0;  // ops actually issued (excludes skipped_writes)
+  uint64_t ops_by_type[5] = {};        // indexed by DbOpType
+  uint64_t outcome_mismatches = 0;     // recorded vs replayed found/not-found
+  uint64_t errors = 0;                 // ops that returned a non-ok/non-notfound status
+  uint64_t skipped_writes = 0;         // kWrite records (batch contents are not traced)
+  uint64_t duration_micros = 0;        // wall time of the replay
+  Histogram latency_micros;            // replayed per-op latency
+};
+
+// Sequential, single-threaded replay in record order (completion order of
+// the original run) — deterministic, so outcome verification is exact.
+// Values are regenerated as a deterministic filler of the recorded size.
+Status ReplayTrace(DB* db, Env* env, const std::string& trace_path, const ReplayOptions& opts,
+                   ReplayResult* result);
+
+}  // namespace clsm
+
+#endif  // CLSM_OBS_TRACE_REPLAY_H_

@@ -20,6 +20,7 @@
 #include <cstdlib>
 
 #include "src/arena/arena.h"
+#include "src/obs/perf_context.h"
 #include "src/util/random.h"
 
 namespace clsm {
@@ -195,8 +196,13 @@ typename ConcurrentSkipList<Key, Comparator>::Node*
 ConcurrentSkipList<Key, Comparator>::FindGreaterOrEqual(const Key& key, Node** prev) const {
   Node* x = head_;
   int level = GetMaxHeight() - 1;
+  // Per-op attribution: count nodes examined (one per loop iteration —
+  // each iteration inspects exactly one successor). Accumulated locally
+  // and published once so the search loop itself stays probe-free.
+  uint64_t nodes_touched = 0;
   while (true) {
     Node* next = x->Next(level);
+    nodes_touched++;
     if (KeyIsAfterNode(key, next)) {
       x = next;
     } else {
@@ -204,6 +210,7 @@ ConcurrentSkipList<Key, Comparator>::FindGreaterOrEqual(const Key& key, Node** p
         prev[level] = x;
       }
       if (level == 0) {
+        CLSM_PERF_COUNT_ADD(skiplist_search_nodes, nodes_touched);
         return next;
       }
       level--;

@@ -2,6 +2,9 @@
 
 #include <thread>
 
+#include "src/obs/metrics.h"  // MonotonicNanos (inline; no clsm_obs link dep)
+#include "src/obs/perf_context.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #define CLSM_CPU_RELAX() _mm_pause()
@@ -30,6 +33,21 @@ class Backoff {
 }  // namespace
 
 void SharedExclusiveLock::LockShared() {
+  // Fast path: no pending exclusive locker and the CAS lands first try.
+  // Kept probe-free — uncontended shared acquisition is on every put.
+  if (exclusive_waiting_.load(std::memory_order_acquire) == 0) {
+    int32_t s = state_.load(std::memory_order_acquire);
+    if (s >= 0 &&
+        state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  // Slow path: genuinely contended (a beforeMerge/afterMerge swap or a
+  // batch is in or entering its exclusive section). Only this wait is
+  // attributed to shared_lock_wait_nanos.
+  const bool timed = tls_perf_context.timers_enabled();
+  const uint64_t t0 = timed ? MonotonicNanos() : 0;
   Backoff backoff;
   while (true) {
     // Exclusive preference: do not even attempt while a writer waits.
@@ -41,9 +59,12 @@ void SharedExclusiveLock::LockShared() {
     if (s >= 0 &&
         state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
                                      std::memory_order_relaxed)) {
-      return;
+      break;
     }
     backoff.Pause();
+  }
+  if (timed) {
+    tls_perf_context.shared_lock_wait_nanos += MonotonicNanos() - t0;
   }
 }
 

@@ -1,5 +1,7 @@
 #include "src/table/format.h"
 
+#include "src/obs/metrics.h"  // MonotonicNanos (inline; no clsm_obs link dep)
+#include "src/obs/perf_context.h"
 #include "src/util/coding.h"
 #include "src/util/crc32c.h"
 
@@ -73,11 +75,25 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options, const Block
     delete[] buf;
     return Status::Corruption("truncated block read");
   }
+  // Per-op attribution: every SSTable block IO funnels through here, so
+  // this is the one point that counts physical block reads and bytes.
+  {
+    PerfContext& ctx = tls_perf_context;
+    if (ctx.counts_enabled()) {
+      ctx.block_reads++;
+      ctx.block_read_bytes += n + kBlockTrailerSize;
+    }
+  }
 
   const char* data = contents.data();
   if (options.verify_checksums) {
+    const bool timed = tls_perf_context.timers_enabled();
+    const uint64_t crc_t0 = timed ? MonotonicNanos() : 0;
     const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
     const uint32_t actual = crc32c::Value(data, n + 1);
+    if (timed) {
+      tls_perf_context.crc_verify_nanos += MonotonicNanos() - crc_t0;
+    }
     if (actual != crc) {
       delete[] buf;
       return Status::Corruption("block checksum mismatch");

@@ -1,5 +1,6 @@
 #include "src/table/table.h"
 
+#include "src/obs/perf_context.h"
 #include "src/table/block.h"
 #include "src/table/filter_block.h"
 #include "src/util/coding.h"
@@ -162,6 +163,7 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options, const Slice&
       cache_handle = block_cache->Lookup(key);
       if (cache_handle != nullptr) {
         block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+        CLSM_PERF_COUNT_ADD(block_cache_hits, 1);
       } else {
         s = ReadBlock(table->rep_->file, options, handle, &contents);
         if (s.ok()) {
@@ -210,6 +212,7 @@ Status Table::InternalGet(const ReadOptions& options, const Slice& k, void* arg,
     if (filter != nullptr && handle.DecodeFrom(&handle_value).ok() &&
         !filter->KeyMayMatch(handle.offset(), k)) {
       // Not found: the Bloom filter rules the key out without any I/O.
+      CLSM_PERF_COUNT_ADD(bloom_useful, 1);
     } else {
       Iterator* block_iter = BlockReader(this, options, iiter->value());
       block_iter->Seek(k);

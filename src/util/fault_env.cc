@@ -1,5 +1,8 @@
 #include "src/util/fault_env.h"
 
+#include <chrono>
+#include <thread>
+
 namespace clsm {
 
 namespace {
@@ -54,6 +57,7 @@ class FaultInjectionEnv::FaultyWritableFile final : public WritableFile {
     if (env_->ShouldFailWrite() || env_->ShouldFailSync()) {
       return Status::IOError("injected fault: Sync");
     }
+    env_->MaybeDelaySync();
     Status s = base_->Sync();
     if (s.ok()) {
       env_->RecordSync(fname_);
@@ -136,6 +140,13 @@ bool FaultInjectionEnv::ShouldFailSync() {
     }
   }
   return false;
+}
+
+void FaultInjectionEnv::MaybeDelaySync() {
+  const uint64_t micros = sync_delay_micros_.load(std::memory_order_acquire);
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
 }
 
 void FaultInjectionEnv::RecordAppend(const std::string& fname, uint64_t bytes) {

@@ -43,6 +43,12 @@ class FaultInjectionEnv final : public Env {
   // Fail only Sync() calls: the next `count` syncs return IOError, then the
   // injector disarms itself. Targets the flush-boundary final sync.
   void FailSyncs(int count) { sync_failures_left_.store(count, std::memory_order_release); }
+  // Slow (but do not fail) every Sync() by `micros` while armed: a degraded
+  // device rather than a broken one. Used to drive latency-attribution
+  // paths (slow-op logging) deterministically. 0 disarms.
+  void DelaySyncs(uint64_t micros) {
+    sync_delay_micros_.store(micros, std::memory_order_release);
+  }
   void FailNewFiles(bool enabled) { fail_new_files_.store(enabled, std::memory_order_release); }
   void FailRenames(bool enabled) { fail_renames_.store(enabled, std::memory_order_release); }
   void FailCreateDir(bool enabled) { fail_create_dir_.store(enabled, std::memory_order_release); }
@@ -56,6 +62,7 @@ class FaultInjectionEnv final : public Env {
     fail_create_dir_.store(false, std::memory_order_release);
     fail_reads_.store(false, std::memory_order_release);
     sync_failures_left_.store(0, std::memory_order_release);
+    sync_delay_micros_.store(0, std::memory_order_release);
     kill_armed_.store(false, std::memory_order_release);
   }
 
@@ -123,6 +130,7 @@ class FaultInjectionEnv final : public Env {
   bool CheckCrash();
   bool ShouldFailWrite();
   bool ShouldFailSync();
+  void MaybeDelaySync();
   bool ShouldFailRead() const {
     return crashed_.load(std::memory_order_acquire) ||
            fail_reads_.load(std::memory_order_acquire);
@@ -139,6 +147,7 @@ class FaultInjectionEnv final : public Env {
   std::atomic<bool> fail_reads_{false};
   std::atomic<int> write_countdown_{0};
   std::atomic<int> sync_failures_left_{0};
+  std::atomic<uint64_t> sync_delay_micros_{0};
   std::atomic<uint64_t> write_failures_{0};
 
   std::atomic<bool> kill_armed_{false};

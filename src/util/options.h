@@ -9,6 +9,10 @@
 #include <memory>
 #include <vector>
 
+// Header-only by design (no clsm_obs link dependency): defines PerfLevel
+// and the thread-local context behind Options::perf_level.
+#include "src/obs/perf_context.h"
+
 namespace clsm {
 
 class Comparator;
@@ -95,6 +99,32 @@ struct Options {
   // If > 0, a background StatsReporter thread logs interval counter deltas
   // plus the full JSON stats snapshot to stderr every this-many seconds.
   unsigned stats_dump_period_sec = 0;
+
+  // When true the StatsReporter resets the DB's counters and latency
+  // histograms after every dump (via DB::ResetStats), so each reported
+  // snapshot covers exactly one interval instead of accumulating since
+  // process start. Off by default: a reset is visible to every other
+  // stats consumer (GetProperty, benches), so opting in is deliberate.
+  bool stats_dump_deltas = false;
+
+  // Per-operation attribution depth (thread-local PerfContext; see
+  // src/obs/perf_context.h for the cost model). Off by default; "counts"
+  // bumps pure counters, "counts+timers" also records phase timers.
+  // Exported via GetPerfContext() and GetProperty("clsm.perf.json").
+  PerfLevel perf_level = PerfLevel::kDisabled;
+
+  // If > 0, operations slower than this many microseconds emit one
+  // structured slow-op record (op type, key-prefix hash, latency, full
+  // PerfContext snapshot, L0/stall state) through the OnSlowOperation
+  // listener hook — rate-bounded by slow_op_max_per_sec. Slow-op timing
+  // is independent of perf_level, but snapshots only carry phase detail
+  // at kEnableTimers.
+  uint64_t slow_op_threshold_micros = 0;
+
+  // Upper bound on OnSlowOperation dispatches per second (per DB); excess
+  // records are counted (slow_ops_suppressed) but not dispatched, so a
+  // pathological tail cannot turn the listener into its own bottleneck.
+  uint32_t slow_op_max_per_sec = 32;
 
   // Make snapshot acquisition linearizable instead of merely serializable:
   // getSnap waits until it can choose a snapshot time no smaller than the

@@ -50,6 +50,10 @@ struct DriverResult {
   // by RunCell; empty when the harness never saw the DB handle).
   std::string stats_json;
 
+  // A post-run probe read's "clsm.perf.json" PerfContext snapshot (filled
+  // by RunCell when the bench runs with CLSM_BENCH_PERF_LEVEL enabled).
+  std::string perf_json;
+
   std::string Summary() const;
 };
 

@@ -12,7 +12,10 @@
 #include <string>
 
 #include "src/baselines/factory.h"
+#include "src/obs/op_trace.h"
+#include "src/obs/slow_op.h"
 #include "src/workload/driver.h"
+#include "src/workload/generator.h"
 
 using namespace clsm;
 
@@ -35,6 +38,10 @@ struct Flags {
   bool fresh = true;
   bool stats = false;
   double zipf_theta = 0.99;
+  std::string perf_level;      // ""|off|counts|timers
+  std::string trace;           // record every op to this file (clsm_trace input)
+  std::string slow_log;        // slow-op JSONL sink path
+  uint64_t slow_us = 0;        // slow-op threshold (0 = off)
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -52,7 +59,10 @@ int Usage() {
           "       --threads=N --duration_ms=N --writes=F --scans=F --rmws=F\n"
           "       --dist=uniform|hotblock|zipfian --zipf_theta=F\n"
           "       --keys=N --preload=N --key_size=N --value_size=N\n"
-          "       --write_buffer=BYTES --keep (reuse existing db) --stats\n");
+          "       --write_buffer=BYTES --keep (reuse existing db) --stats\n"
+          "       --perf_level=off|counts|timers (clsm.perf.json of a probe read)\n"
+          "       --trace=PATH (record every op; replay with clsm_trace)\n"
+          "       --slow_us=N --slow_log=PATH (slow-op JSONL records)\n");
   return 2;
 }
 
@@ -90,6 +100,14 @@ int main(int argc, char** argv) {
       flags.write_buffer = strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "zipf_theta", &v)) {
       flags.zipf_theta = atof(v.c_str());
+    } else if (ParseFlag(argv[i], "perf_level", &v)) {
+      flags.perf_level = v;
+    } else if (ParseFlag(argv[i], "trace", &v)) {
+      flags.trace = v;
+    } else if (ParseFlag(argv[i], "slow_log", &v)) {
+      flags.slow_log = v;
+    } else if (ParseFlag(argv[i], "slow_us", &v)) {
+      flags.slow_us = strtoull(v.c_str(), nullptr, 10);
     } else if (strcmp(argv[i], "--keep") == 0) {
       flags.fresh = false;
     } else if (strcmp(argv[i], "--stats") == 0) {
@@ -114,6 +132,27 @@ int main(int argc, char** argv) {
 
   Options options;
   options.write_buffer_size = flags.write_buffer;
+  if (flags.perf_level == "counts") {
+    options.perf_level = PerfLevel::kEnableCounts;
+  } else if (flags.perf_level == "timers" || flags.perf_level == "counts+timers") {
+    options.perf_level = PerfLevel::kEnableTimers;
+  } else if (!flags.perf_level.empty() && flags.perf_level != "off") {
+    fprintf(stderr, "unknown perf level: %s\n", flags.perf_level.c_str());
+    return Usage();
+  }
+  std::shared_ptr<TraceWriter> tracer;
+  if (!flags.trace.empty()) {
+    tracer = std::make_shared<TraceWriter>(flags.trace);
+    options.listeners.push_back(tracer);
+  }
+  std::shared_ptr<SlowOpJsonlSink> slow_sink;
+  if (flags.slow_us > 0) {
+    options.slow_op_threshold_micros = flags.slow_us;
+    if (!flags.slow_log.empty()) {
+      slow_sink = std::make_shared<SlowOpJsonlSink>(flags.slow_log);
+      options.listeners.push_back(slow_sink);
+    }
+  }
   DB* raw = nullptr;
   Status s = OpenDb(variant, options, flags.db, &raw);
   if (!s.ok()) {
@@ -160,10 +199,31 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(result.scans),
          static_cast<unsigned long long>(result.rmws));
   db->WaitForMaintenance();
+  if (tracer != nullptr) {
+    Status ts = tracer->Finish();
+    std::string suffix = ts.ok() ? "" : " (" + ts.ToString() + ")";
+    fprintf(stderr, "trace: %llu records -> %s%s\n",
+            static_cast<unsigned long long>(tracer->records_written()), flags.trace.c_str(),
+            suffix.c_str());
+  }
+  if (slow_sink != nullptr) {
+    fprintf(stderr, "slow ops: %llu records -> %s\n",
+            static_cast<unsigned long long>(slow_sink->lines_written()),
+            flags.slow_log.c_str());
+  }
   if (flags.stats) {
     printf("--- internal stats ---\n%s", db->GetProperty("clsm.stats").c_str());
     printf("levels: %s\n", db->GetProperty("clsm.levels").c_str());
     printf("--- stats json ---\n%s\n", db->GetProperty("clsm.stats.json").c_str());
+  }
+  if (options.perf_level != PerfLevel::kDisabled) {
+    // PerfContext is thread-local; the workers' contexts died with them, so
+    // issue one attributed probe read from this thread.
+    std::string probe_key, value;
+    EncodeWorkloadKey(0, flags.key_size, &probe_key);
+    db->Get(ReadOptions(), probe_key, &value);
+    printf("--- perf json (probe read) ---\n%s\n",
+           db->GetProperty("clsm.perf.json").c_str());
   }
   return 0;
 }

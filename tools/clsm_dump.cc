@@ -6,6 +6,8 @@
 //   clsm_dump --wal <file.log>        dump one WAL file's records
 //   clsm_dump --scan <dbdir>          full user-visible key dump
 //   clsm_dump --stats <dbdir>         internal stats, text + JSON forms
+//   clsm_dump --perf <dbdir>          probe reads with full attribution
+//   clsm_dump --trace <file.trace>    op mix / key skew / latency summary
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -15,6 +17,8 @@
 #include "src/lsm/filename.h"
 #include "src/lsm/repair.h"
 #include "src/lsm/storage_engine.h"
+#include "src/obs/op_trace.h"
+#include "src/obs/perf_context.h"
 #include "src/table/table.h"
 #include "src/util/env.h"
 #include "src/wal/log_reader.h"
@@ -223,6 +227,55 @@ int DumpStats(const char* dbdir) {
   return 0;
 }
 
+// Opens the store with perf_level=counts+timers and issues two probe reads
+// — the first live key (a hit) and a key that cannot exist (a miss) —
+// printing the full PerfContext JSON after each. Shows, per level, where a
+// read on this store's current shape actually spends its time.
+int DumpPerf(const char* dbdir) {
+  Options options;
+  options.create_if_missing = false;
+  options.perf_level = PerfLevel::kEnableTimers;
+  DB* raw = nullptr;
+  Status s = ClsmDb::Open(options, dbdir, &raw);
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DB> db(raw);
+
+  std::string first_key;
+  {
+    std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+    iter->SeekToFirst();
+    if (iter->Valid()) {
+      first_key = iter->key().ToString();
+    }
+  }
+  std::string value;
+  if (!first_key.empty()) {
+    s = db->Get(ReadOptions(), first_key, &value);
+    printf("--- get('%s') -> %s ---\n%s\n", first_key.c_str(), s.ToString().c_str(),
+           db->GetProperty("clsm.perf.json").c_str());
+  } else {
+    printf("store is empty; skipping hit probe\n");
+  }
+  s = db->Get(ReadOptions(), Slice("\xff\xff<clsm_dump-perf-probe>"), &value);
+  printf("--- get(<missing key>) -> %s ---\n%s\n", s.ToString().c_str(),
+         db->GetProperty("clsm.perf.json").c_str());
+  return 0;
+}
+
+int DumpTraceSummary(const char* path) {
+  TraceSummary summary;
+  Status s = SummarizeTrace(Env::Default(), path, &summary);
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("%s", summary.ToString().c_str());
+  return 0;
+}
+
 int Repair(const char* dbdir) {
   Options options;
   Status s = RepairDb(options, dbdir);
@@ -242,6 +295,8 @@ int Usage() {
           "  clsm_dump --stats <dbdir>\n"
           "  clsm_dump --table <file.sst>\n"
           "  clsm_dump --wal <file.log>\n"
+          "  clsm_dump --perf <dbdir>     (probe reads with attribution)\n"
+          "  clsm_dump --trace <file>     (operation-trace summary)\n"
           "  clsm_dump --repair <dbdir>   (rebuild a lost/corrupt manifest)\n");
   return 2;
 }
@@ -264,6 +319,12 @@ int main(int argc, char** argv) {
   }
   if (argc == 3 && strcmp(argv[1], "--stats") == 0) {
     return clsm::DumpStats(argv[2]);
+  }
+  if (argc == 3 && strcmp(argv[1], "--perf") == 0) {
+    return clsm::DumpPerf(argv[2]);
+  }
+  if (argc == 3 && strcmp(argv[1], "--trace") == 0) {
+    return clsm::DumpTraceSummary(argv[2]);
   }
   if (argc == 3 && strcmp(argv[1], "--repair") == 0) {
     return clsm::Repair(argv[2]);

@@ -1,0 +1,163 @@
+// clsm_trace: inspect and replay operation traces recorded by the
+// TraceWriter listener (src/obs/op_trace.h).
+//
+//   clsm_trace dump <trace>            one JSON object per record (JSONL)
+//   clsm_trace summary <trace>         op mix, key skew, latency percentiles
+//   clsm_trace replay <trace> <dbdir> [--variant NAME] [--timing preserve|compress]
+//                                     [--no-verify]
+//
+// Replay runs the trace against a fresh or existing store at <dbdir> using
+// any variant (default clsm), preserving or compressing the recorded
+// inter-arrival timing, and verifies per-op found/not-found outcomes
+// against the recording unless --no-verify.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/baselines/factory.h"
+#include "src/obs/op_trace.h"
+#include "src/obs/trace_replay.h"
+#include "src/util/env.h"
+
+namespace clsm {
+namespace {
+
+int DumpTrace(const char* path) {
+  TraceReader reader;
+  Status s = reader.Open(Env::Default(), path);
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  TraceRecord rec;
+  uint64_t n = 0;
+  while (reader.Next(&rec)) {
+    printf("%s\n", TraceRecordToJson(rec).c_str());
+    n++;
+  }
+  if (!reader.status().ok()) {
+    fprintf(stderr, "trace corrupt after %llu records: %s\n",
+            static_cast<unsigned long long>(n), reader.status().ToString().c_str());
+    return 1;
+  }
+  fprintf(stderr, "%llu records\n", static_cast<unsigned long long>(n));
+  return 0;
+}
+
+int Summarize(const char* path) {
+  TraceSummary summary;
+  Status s = SummarizeTrace(Env::Default(), path, &summary);
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("%s", summary.ToString().c_str());
+  return 0;
+}
+
+int Replay(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  const char* dbdir = nullptr;
+  DbVariant variant = DbVariant::kClsm;
+  ReplayOptions ropts;
+  for (int i = 0; i < argc; i++) {
+    if (strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
+      if (!ParseVariant(argv[++i], &variant)) {
+        fprintf(stderr, "unknown variant '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (strcmp(argv[i], "--timing") == 0 && i + 1 < argc) {
+      i++;
+      if (strcmp(argv[i], "preserve") == 0) {
+        ropts.preserve_timing = true;
+      } else if (strcmp(argv[i], "compress") == 0) {
+        ropts.preserve_timing = false;
+      } else {
+        fprintf(stderr, "--timing takes 'preserve' or 'compress'\n");
+        return 2;
+      }
+    } else if (strcmp(argv[i], "--no-verify") == 0) {
+      ropts.verify_outcomes = false;
+    } else if (trace_path == nullptr) {
+      trace_path = argv[i];
+    } else if (dbdir == nullptr) {
+      dbdir = argv[i];
+    } else {
+      fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (trace_path == nullptr || dbdir == nullptr) {
+    fprintf(stderr, "replay needs <trace> and <dbdir>\n");
+    return 2;
+  }
+
+  Options options;
+  options.create_if_missing = true;
+  DB* raw = nullptr;
+  Status s = OpenDb(variant, options, dbdir, &raw);
+  if (!s.ok()) {
+    fprintf(stderr, "open %s (%s) failed: %s\n", dbdir, VariantName(variant),
+            s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DB> db(raw);
+
+  ReplayResult result;
+  s = ReplayTrace(db.get(), Env::Default(), trace_path, ropts, &result);
+  if (!s.ok()) {
+    fprintf(stderr, "replay failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double secs = static_cast<double>(result.duration_micros) / 1e6;
+  printf("replayed %llu ops against %s in %.3fs (%.0f ops/s, timing=%s)\n",
+         static_cast<unsigned long long>(result.ops), VariantName(variant), secs,
+         secs > 0 ? static_cast<double>(result.ops) / secs : 0.0,
+         ropts.preserve_timing ? "preserve" : "compress");
+  printf("op mix: put=%llu delete=%llu get=%llu write=%llu(skipped=%llu) rmw=%llu\n",
+         static_cast<unsigned long long>(result.ops_by_type[0]),
+         static_cast<unsigned long long>(result.ops_by_type[1]),
+         static_cast<unsigned long long>(result.ops_by_type[2]),
+         static_cast<unsigned long long>(result.ops_by_type[3]),
+         static_cast<unsigned long long>(result.skipped_writes),
+         static_cast<unsigned long long>(result.ops_by_type[4]));
+  printf("errors: %llu\n", static_cast<unsigned long long>(result.errors));
+  if (ropts.verify_outcomes) {
+    printf("outcome mismatches: %llu\n",
+           static_cast<unsigned long long>(result.outcome_mismatches));
+  }
+  if (result.latency_micros.Num() > 0) {
+    printf("latency micros: p50=%.1f p90=%.1f p99=%.1f p999=%.1f max=%.1f\n",
+           result.latency_micros.Percentile(50), result.latency_micros.Percentile(90),
+           result.latency_micros.Percentile(99), result.latency_micros.Percentile(99.9),
+           result.latency_micros.Max());
+  }
+  return (result.errors == 0 && result.outcome_mismatches == 0) ? 0 : 1;
+}
+
+int Usage() {
+  fprintf(stderr,
+          "usage:\n"
+          "  clsm_trace dump <trace>\n"
+          "  clsm_trace summary <trace>\n"
+          "  clsm_trace replay <trace> <dbdir> [--variant NAME]\n"
+          "             [--timing preserve|compress] [--no-verify]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace clsm
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && strcmp(argv[1], "dump") == 0) {
+    return clsm::DumpTrace(argv[2]);
+  }
+  if (argc >= 3 && strcmp(argv[1], "summary") == 0) {
+    return clsm::Summarize(argv[2]);
+  }
+  if (argc >= 4 && strcmp(argv[1], "replay") == 0) {
+    return clsm::Replay(argc - 2, argv + 2);
+  }
+  return clsm::Usage();
+}

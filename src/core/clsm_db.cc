@@ -2,9 +2,12 @@
 
 #include <chrono>
 
+#include <algorithm>
+
 #include "src/core/db_iter.h"
 #include "src/obs/instrumented_iter.h"
 #include "src/obs/stats_export.h"
+#include "src/sync/backoff.h"
 #include "src/table/merging_iterator.h"
 
 namespace clsm {
@@ -145,12 +148,16 @@ SequenceNumber ClsmDb::GetTS() {
   // concurrent getSnap already chose a snapshot time at or after our
   // timestamp, writing at this timestamp could make the snapshot
   // inconsistent, so discard it and draw a fresh (larger) one.
+  SpinBackoff backoff;
   while (true) {
     SequenceNumber ts = time_counter_.IncAndGet();
     active_.Add(ts);
     if (ts <= snap_time_.load(std::memory_order_seq_cst)) {
       active_.Remove(ts);
       stats_.Bump(stats_.getts_rollbacks);
+      // Back off before redrawing: on few cores a hot rollback loop starves
+      // the very scanner whose snapTime advance we are trying to clear.
+      backoff.Pause();
     } else {
       return ts;
     }
@@ -182,12 +189,17 @@ SequenceNumber ClsmDb::AcquireScanTimestamp() {
   // equal snapTime (it was chosen below the Active minimum), so this is the
   // paper's "findMin() < snapTime" wait; in linearizable mode the <= matters
   // — a put in flight at exactly snapTime is part of the snapshot.
+  SpinBackoff backoff;
   while (true) {
     uint64_t min_active = active_.FindMin();
     if (min_active == ActiveTimestampSet::kNone ||
         min_active > snap_time_.load(std::memory_order_seq_cst)) {
       break;
     }
+    // Back off between scans: the puts we are waiting on need CPU to
+    // complete, and on the 1-core host a hot loop here burns the scanner's
+    // whole quantum against them.
+    backoff.Pause();
   }
   return snap_time_.load(std::memory_order_seq_cst);
 }
@@ -428,14 +440,19 @@ Status ClsmDb::Write(const WriteOptions& options, WriteBatch* updates) {
   const uint64_t t0 = timing ? LatencyClock::Ticks() : 0;
   // Trace records carry the batch's total payload bytes in value_size (the
   // per-op key/value breakdown is not traced; replay skips kWrite records).
-  uint32_t batch_bytes = 0;
+  // Summed in 64 bits — a >= 4 GiB batch used to wrap the accumulator and
+  // attribute garbage sizes — and clamped only at the 32-bit trace-record
+  // boundary.
+  uint64_t batch_bytes = 0;
   for (const WriteBatch::Op& op : updates->ops()) {
-    batch_bytes += static_cast<uint32_t>(op.key.size() + op.value.size());
+    batch_bytes += op.key.size() + op.value.size();
   }
+  const uint32_t traced_bytes =
+      static_cast<uint32_t>(std::min<uint64_t>(batch_bytes, UINT32_MAX));
   bool op_stalled = false;
   Status throttle_status = ThrottleIfNeeded(&op_stalled);
   if (!throttle_status.ok()) {
-    FinishOp(DbOpType::kWrite, Slice(), batch_bytes, OpOutcome::kError, t0, op_stalled);
+    FinishOp(DbOpType::kWrite, Slice(), traced_bytes, OpOutcome::kError, t0, op_stalled);
     return throttle_status;
   }
 
@@ -464,7 +481,7 @@ Status ClsmDb::Write(const WriteOptions& options, WriteBatch* updates) {
     }
   }
   lock_.UnlockExclusive();
-  FinishOp(DbOpType::kWrite, Slice(), batch_bytes, s.ok() ? OpOutcome::kOk : OpOutcome::kError,
+  FinishOp(DbOpType::kWrite, Slice(), traced_bytes, s.ok() ? OpOutcome::kOk : OpOutcome::kError,
            t0, op_stalled);
   return s;
 }
@@ -900,6 +917,7 @@ std::string ClsmDb::GetProperty(const Slice& property) {
     src.counters = &stats_;
     src.registry = &registry_;
     src.engine = &engine_;
+    src.active_set = &active_;
     return BuildStatsJson(src);
   }
   if (property == Slice("clsm.perf.json")) {

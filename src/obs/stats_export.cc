@@ -7,6 +7,8 @@
 #include "src/core/stats.h"
 #include "src/lsm/storage_engine.h"
 #include "src/obs/metrics.h"
+#include "src/sync/active_set.h"
+#include "src/sync/thread_slots.h"
 #include "src/util/histogram.h"
 
 namespace clsm {
@@ -166,6 +168,30 @@ void EmitLevels(JsonOut& j, StorageEngine& engine) {
   j.F64("write_amp", cstats.EstimatedWriteAmp());
 }
 
+void EmitSlotGauges(JsonOut& j, const char* key, const ThreadSlotGauges& g) {
+  j.BeginObject(key);
+  j.U64("in_use", g.in_use);
+  j.U64("high_water", g.high_water);
+  j.U64("reclaims", g.reclaims);
+  j.U64("overflow_ops", g.overflow_ops);
+  j.EndObject();
+}
+
+// Thread-slot registry health: slots held by live threads, the scan bound,
+// how many dying threads returned their slot, and how many operations had
+// to degrade to the shared overflow slots (a sustained nonzero rate means
+// the deployment runs more concurrent threads than kMaxSlots).
+void EmitThreadSlots(JsonOut& j, const StatsJsonSource& src) {
+  j.BeginObject("thread_slots");
+  if (src.active_set != nullptr) {
+    EmitSlotGauges(j, "active_set", src.active_set->SlotGauges());
+  }
+  if (src.engine != nullptr) {
+    EmitSlotGauges(j, "epoch", src.engine->epochs()->SlotGauges());
+  }
+  j.EndObject();
+}
+
 }  // namespace
 
 std::string BuildStatsJson(const StatsJsonSource& src) {
@@ -186,6 +212,9 @@ std::string BuildStatsJson(const StatsJsonSource& src) {
   if (src.engine != nullptr) {
     EmitLevels(j, *src.engine);
     EmitErrors(j, *src.engine);
+  }
+  if (src.active_set != nullptr || src.engine != nullptr) {
+    EmitThreadSlots(j, src);
   }
   j.EndObject();
   return j.Take();

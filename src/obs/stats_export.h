@@ -9,6 +9,7 @@
 
 namespace clsm {
 
+class ActiveTimestampSet;
 class DbStats;
 class StatsRegistry;
 class StorageEngine;
@@ -18,6 +19,9 @@ struct StatsJsonSource {
   const DbStats* counters = nullptr;     // operation counters (required)
   const StatsRegistry* registry = nullptr;  // latency histograms (optional)
   StorageEngine* engine = nullptr;       // per-level gauges + compaction stats
+  // Active-set slot gauges (cLSM only; the engine's epoch gauges are taken
+  // from `engine` directly). Adds the "thread_slots" block when non-null.
+  const ActiveTimestampSet* active_set = nullptr;
 };
 
 // Renders the full snapshot:
@@ -30,7 +34,11 @@ struct StatsJsonSource {
 //                "bytes_read":N,"bytes_written":N,"micros":N}, ... ],
 //   "flush": {"count":N,"bytes_written":N,"micros":N},
 //   "write_amp": W,
-//   "stall": {"slowdown_waits":N,"slowdown_micros":N,"stall_micros":N}
+//   "stall": {"slowdown_waits":N,"slowdown_micros":N,"stall_micros":N},
+//   "thread_slots": {                                  // slot-registry health
+//     "active_set": {"in_use":N,"high_water":N,"reclaims":N,"overflow_ops":N},
+//     "epoch": { ... same gauges ... }                 // engine's EpochManager
+//   }
 // }
 std::string BuildStatsJson(const StatsJsonSource& src);
 

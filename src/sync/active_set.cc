@@ -1,68 +1,86 @@
 #include "src/sync/active_set.h"
 
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
-#include <unordered_map>
+
+#include "src/sync/backoff.h"
 
 namespace clsm {
 
-namespace {
-std::atomic<uint64_t> g_next_set_id{1};
-}  // namespace
-
-ActiveTimestampSet::ActiveTimestampSet()
-    : registered_(0), id_(g_next_set_id.fetch_add(1, std::memory_order_relaxed)) {}
-
-int ActiveTimestampSet::SlotIndexForThisThread() {
-  // One slot per (thread, set) pair, keyed by the set's process-unique id so
-  // that a destroyed set whose address is reused never aliases a live cache
-  // entry. The common case (a thread hammering one DB) hits the one-entry
-  // fast cache; the map only backs threads that touch many stores.
-  thread_local uint64_t cached_id = 0;
-  thread_local int cached_index = -1;
-  if (cached_id == id_) {
-    return cached_index;
-  }
-  thread_local std::unordered_map<uint64_t, int> reg_map;
-  auto it = reg_map.find(id_);
-  int index;
-  if (it != reg_map.end()) {
-    index = it->second;
-  } else {
-    index = registered_.fetch_add(1, std::memory_order_relaxed);
-    if (index >= kMaxThreads) {
-      fprintf(stderr, "ActiveTimestampSet: too many threads (max %d)\n", kMaxThreads);
-      abort();
-    }
-    reg_map.emplace(id_, index);
-  }
-  cached_id = id_;
-  cached_index = index;
-  return index;
-}
+ActiveTimestampSet::ActiveTimestampSet(int max_threads) : registry_(max_threads) {}
 
 void ActiveTimestampSet::Add(uint64_t ts) {
   assert(ts != kNone);
-  Slot& slot = slots_[SlotIndexForThisThread()];
+  const int index = registry_.SlotForThisThread();
+  if (index == ThreadSlotRegistry::kOverflowIndex) {
+    AddOverflow(ts);
+    return;
+  }
+  Slot& slot = slots_[index];
   assert(slot.ts.load(std::memory_order_relaxed) == kNone);
   // seq_cst: the Add must be globally ordered against getSnap's read of the
-  // time counter and scan of the set (the Figure 4 race).
+  // time counter and scan of the set (the Figure 4 race). The slot was
+  // published to FindMin by the registry's seq_cst high-water bump before
+  // this store, so no scan that matters can skip it.
   slot.ts.store(ts, std::memory_order_seq_cst);
 }
 
 void ActiveTimestampSet::Remove(uint64_t ts) {
-  Slot& slot = slots_[SlotIndexForThisThread()];
+  const int index = registry_.SlotForThisThread();
+  if (index == ThreadSlotRegistry::kOverflowIndex) {
+    RemoveOverflow(ts);
+    return;
+  }
+  Slot& slot = slots_[index];
   assert(slot.ts.load(std::memory_order_relaxed) == ts);
   (void)ts;
   slot.ts.store(kNone, std::memory_order_release);
 }
 
+void ActiveTimestampSet::AddOverflow(uint64_t ts) {
+  // Saturated registry: claim any free shared slot. The CAS (a seq_cst RMW)
+  // gives the same ordering against scans as the private-slot store. All
+  // overflow slots busy means > capacity + kOverflowSlots puts are in
+  // flight at this instant; wait for one to finish — degraded, never fatal.
+  registry_.BumpOverflowOps();
+  SpinBackoff backoff;
+  for (;;) {
+    for (int i = 0; i < kOverflowSlots; i++) {
+      uint64_t expected = kNone;
+      if (overflow_[i].ts.compare_exchange_strong(expected, ts,
+                                                  std::memory_order_seq_cst)) {
+        return;
+      }
+    }
+    backoff.Pause();
+  }
+}
+
+void ActiveTimestampSet::RemoveOverflow(uint64_t ts) {
+  // Timestamps are unique (one IncAndGet each), so the claimed slot is the
+  // one holding ts — no per-thread claim bookkeeping needed.
+  for (int i = 0; i < kOverflowSlots; i++) {
+    if (overflow_[i].ts.load(std::memory_order_relaxed) == ts) {
+      overflow_[i].ts.store(kNone, std::memory_order_release);
+      return;
+    }
+  }
+  assert(false && "Remove of a timestamp not present in any overflow slot");
+}
+
 uint64_t ActiveTimestampSet::FindMin() const {
-  const int n = registered_.load(std::memory_order_acquire);
+  // seq_cst bound load: pairs with the registry's seq_cst high-water bump
+  // so a slot whose Add is ordered before our caller's snapTime update is
+  // never skipped (see thread_slots.h for the full argument).
+  const int n = registry_.ScanBound();
   uint64_t min = kNone;
   for (int i = 0; i < n; i++) {
     uint64_t ts = slots_[i].ts.load(std::memory_order_seq_cst);
+    if (ts != kNone && (min == kNone || ts < min)) {
+      min = ts;
+    }
+  }
+  for (int i = 0; i < kOverflowSlots; i++) {
+    uint64_t ts = overflow_[i].ts.load(std::memory_order_seq_cst);
     if (ts != kNone && (min == kNone || ts < min)) {
       min = ts;
     }

@@ -8,26 +8,39 @@
 // acquires and releases it before starting another), so the set is realized
 // as one atomic slot per registered thread: Add/Remove are single stores,
 // FindMin is a wait-free scan — no blocking anywhere.
+//
+// Slots come from a ThreadSlotRegistry: they are recycled when their thread
+// exits (a dying thread's entry is kNone, so recycling needs no grace
+// period), and when more than kMaxThreads live threads touch the set the
+// excess park on a small array of shared overflow slots — their Add becomes
+// a contended CAS claim instead of a private store, slower but never fatal
+// (the pre-registry code abort()ed the process at thread 513).
 #ifndef CLSM_SYNC_ACTIVE_SET_H_
 #define CLSM_SYNC_ACTIVE_SET_H_
 
 #include <atomic>
 #include <cstdint>
 
+#include "src/sync/thread_slots.h"
+
 namespace clsm {
 
 class ActiveTimestampSet {
  public:
   static constexpr uint64_t kNone = 0;
-  static constexpr int kMaxThreads = 512;
+  static constexpr int kMaxThreads = ThreadSlotRegistry::kMaxSlots;
+  static constexpr int kOverflowSlots = 8;
 
-  ActiveTimestampSet();
+  // max_threads below kMaxThreads shrinks the private-slot pool (tests use
+  // this to exercise overflow without spawning hundreds of threads).
+  explicit ActiveTimestampSet(int max_threads = kMaxThreads);
 
   ActiveTimestampSet(const ActiveTimestampSet&) = delete;
   ActiveTimestampSet& operator=(const ActiveTimestampSet&) = delete;
 
   // Publish ts as active for the calling thread. ts must be non-zero and the
-  // thread's slot must currently be empty.
+  // thread's slot must currently be empty. One store on the steady-state
+  // path; threads parked on overflow claim a shared slot by CAS.
   void Add(uint64_t ts);
 
   // Clear the calling thread's active timestamp. ts must match the value
@@ -39,16 +52,20 @@ class ActiveTimestampSet {
   // race Algorithm 2 closes on the put side (getTS re-checks snapTime).
   uint64_t FindMin() const;
 
+  // Slot-registry health gauges (clsm.stats.json "thread_slots" block).
+  ThreadSlotGauges SlotGauges() const { return registry_.Gauges(); }
+
  private:
   struct alignas(64) Slot {
     std::atomic<uint64_t> ts{kNone};
   };
 
-  int SlotIndexForThisThread();
+  void AddOverflow(uint64_t ts);
+  void RemoveOverflow(uint64_t ts);
 
   Slot slots_[kMaxThreads];
-  std::atomic<int> registered_;
-  const uint64_t id_;  // process-unique; keys the per-thread slot cache
+  Slot overflow_[kOverflowSlots];
+  ThreadSlotRegistry registry_;
 };
 
 }  // namespace clsm

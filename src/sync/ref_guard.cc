@@ -1,49 +1,23 @@
 #include "src/sync/ref_guard.h"
 
-#include <cstdio>
-#include <cstdlib>
-#include <thread>
-#include <unordered_map>
+#include "src/sync/backoff.h"
 
 namespace clsm {
 
-namespace {
-std::atomic<uint64_t> g_next_epoch_mgr_id{1};
-}  // namespace
-
-EpochManager::EpochManager()
-    : global_epoch_(1), registered_(0), id_(g_next_epoch_mgr_id.fetch_add(1)) {}
-
-EpochManager::Slot* EpochManager::SlotForThisThread() {
-  thread_local uint64_t cached_id = 0;
-  thread_local Slot* cached_slot = nullptr;
-  if (cached_id == id_) {
-    return cached_slot;
-  }
-  thread_local std::unordered_map<uint64_t, Slot*> reg_map;
-  auto it = reg_map.find(id_);
-  Slot* slot;
-  if (it != reg_map.end()) {
-    slot = it->second;
-  } else {
-    int index = registered_.fetch_add(1, std::memory_order_relaxed);
-    if (index >= kMaxThreads) {
-      fprintf(stderr, "EpochManager: too many threads (max %d)\n", kMaxThreads);
-      abort();
-    }
-    slot = &slots_[index];
-    reg_map.emplace(id_, slot);
-  }
-  cached_id = id_;
-  cached_slot = slot;
-  return slot;
-}
+EpochManager::EpochManager(int max_threads) : global_epoch_(1), registry_(max_threads) {}
 
 void EpochManager::Enter() {
-  Slot* slot = SlotForThisThread();
+  const int index = registry_.SlotForThisThread();
+  if (index == ThreadSlotRegistry::kOverflowIndex) {
+    EnterOverflow();
+    return;
+  }
+  Slot* slot = &slots_[index];
   uint64_t e = global_epoch_.load(std::memory_order_relaxed);
   // seq_cst store: must be globally visible before the reader dereferences
   // the component pointers, and ordered against Synchronize()'s epoch bump.
+  // The slot itself was published to Synchronize's scan by the registry's
+  // seq_cst high-water bump before this store.
   slot->epoch.store(e, std::memory_order_seq_cst);
   // Re-read: if the global epoch advanced between our load and publish, our
   // published value may be stale-low; refresh so Synchronize() never waits
@@ -55,23 +29,69 @@ void EpochManager::Enter() {
 }
 
 void EpochManager::Exit() {
-  SlotForThisThread()->epoch.store(0, std::memory_order_release);
+  const int index = registry_.SlotForThisThread();
+  if (index == ThreadSlotRegistry::kOverflowIndex) {
+    ExitOverflow();
+    return;
+  }
+  slots_[index].epoch.store(0, std::memory_order_release);
+}
+
+void EpochManager::EnterOverflow() {
+  // Saturated registry: claim any quiescent shared slot by CAS and remember
+  // which one in the per-(thread, registry) scratch word so the paired
+  // Exit can release it (epoch values are not unique per thread, so the
+  // Active-set trick of scanning for our own value does not apply).
+  registry_.BumpOverflowOps();
+  int* claim = registry_.OverflowScratchForThisThread();
+  SpinBackoff backoff;
+  for (;;) {
+    for (int i = 0; i < kOverflowSlots; i++) {
+      uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+      uint64_t expected = 0;
+      if (overflow_[i].epoch.compare_exchange_strong(expected, e,
+                                                     std::memory_order_seq_cst)) {
+        // Same stale-epoch refresh as the private path; the slot is ours
+        // until Exit, so a plain store is safe.
+        uint64_t e2 = global_epoch_.load(std::memory_order_seq_cst);
+        if (e2 != e) {
+          overflow_[i].epoch.store(e2, std::memory_order_seq_cst);
+        }
+        *claim = i;
+        return;
+      }
+    }
+    backoff.Pause();
+  }
+}
+
+void EpochManager::ExitOverflow() {
+  const int claim = *registry_.OverflowScratchForThisThread();
+  assert(claim >= 0 && claim < kOverflowSlots);
+  overflow_[claim].epoch.store(0, std::memory_order_release);
 }
 
 void EpochManager::Synchronize() {
   const uint64_t barrier = global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
-  const int n = registered_.load(std::memory_order_acquire);
-  for (int i = 0; i < n; i++) {
-    int spins = 0;
+  // seq_cst bound load: pairs with the registry's seq_cst high-water bump
+  // so a reader whose Enter is ordered before our epoch bump is never
+  // skipped (see thread_slots.h for the full argument).
+  const int n = registry_.ScanBound();
+  auto wait_quiescent = [barrier](const Slot& slot) {
+    SpinBackoff backoff;
     while (true) {
-      uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+      uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
       if (e == 0 || e >= barrier) {
         break;
       }
-      if (++spins > 128) {
-        std::this_thread::yield();
-      }
+      backoff.Pause();
     }
+  };
+  for (int i = 0; i < n; i++) {
+    wait_quiescent(slots_[i]);
+  }
+  for (int i = 0; i < kOverflowSlots; i++) {
+    wait_quiescent(overflow_[i]);
   }
 }
 

@@ -10,6 +10,13 @@
 // unlink — before dropping the store's own reference. Components are freed
 // when their count reaches zero. Readers never block; only the background
 // merge thread ever waits.
+//
+// Reader slots come from a ThreadSlotRegistry: a thread's slot is recycled
+// when it exits (a dying thread is outside any critical section, so its
+// slot reads 0 and recycling needs no grace period), and once kMaxThreads
+// live threads hold slots, further threads park on shared overflow slots —
+// Enter becomes a contended CAS claim instead of a private store (slower,
+// never fatal; the pre-registry code abort()ed at thread 513).
 #ifndef CLSM_SYNC_REF_GUARD_H_
 #define CLSM_SYNC_REF_GUARD_H_
 
@@ -17,18 +24,25 @@
 #include <cassert>
 #include <cstdint>
 
+#include "src/sync/thread_slots.h"
+
 namespace clsm {
 
 class EpochManager {
  public:
-  static constexpr int kMaxThreads = 512;
+  static constexpr int kMaxThreads = ThreadSlotRegistry::kMaxSlots;
+  static constexpr int kOverflowSlots = 8;
 
-  EpochManager();
+  // max_threads below kMaxThreads shrinks the private-slot pool (tests use
+  // this to exercise overflow without spawning hundreds of threads).
+  explicit EpochManager(int max_threads = kMaxThreads);
 
   EpochManager(const EpochManager&) = delete;
   EpochManager& operator=(const EpochManager&) = delete;
 
-  // Enter/Exit a read-side critical section. Wait-free.
+  // Enter/Exit a read-side critical section. Wait-free on the steady-state
+  // path (one store each); threads parked on overflow claim a shared slot
+  // by CAS and may briefly wait for one to free up.
   void Enter();
   void Exit();
 
@@ -37,18 +51,22 @@ class EpochManager {
   // waited for. Called by the merge thread only; may spin.
   void Synchronize();
 
+  // Slot-registry health gauges (clsm.stats.json "thread_slots" block).
+  ThreadSlotGauges SlotGauges() const { return registry_.Gauges(); }
+
  private:
   struct alignas(64) Slot {
     // 0 = quiescent; otherwise the epoch observed at Enter().
     std::atomic<uint64_t> epoch{0};
   };
 
-  Slot* SlotForThisThread();
+  void EnterOverflow();
+  void ExitOverflow();
 
   std::atomic<uint64_t> global_epoch_;
   Slot slots_[kMaxThreads];
-  std::atomic<int> registered_;
-  const uint64_t id_;
+  Slot overflow_[kOverflowSlots];
+  ThreadSlotRegistry registry_;
 };
 
 class EpochGuard {

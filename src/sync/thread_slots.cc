@@ -1,0 +1,216 @@
+#include "src/sync/thread_slots.h"
+
+#include <cassert>
+#include <mutex>
+#include <unordered_map>
+
+namespace clsm {
+
+namespace {
+
+std::atomic<uint64_t> g_next_registry_id{1};
+
+// Global table of live registries, consulted only on cold paths (first
+// acquire per (thread, registry), thread death, registry destruction).
+// Leaked singletons: main-thread TLS reapers may run during process
+// teardown, after namespace-scope statics would have been destroyed.
+std::mutex& RegistryMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::unordered_map<uint64_t, ThreadSlotRegistry*>& LiveRegistries() {
+  static auto* m = new std::unordered_map<uint64_t, ThreadSlotRegistry*>;
+  return *m;
+}
+
+}  // namespace
+
+// Per-thread slot table: one entry per registry this thread has touched.
+// Entries for dead registries are purged lazily by the acquire slow path;
+// entries for live registries are released by the destructor (the reaper)
+// when the thread exits. unordered_map nodes give the scratch word a stable
+// address for the thread's lifetime.
+struct ThreadSlotMap {
+  struct Entry {
+    int index = ThreadSlotRegistry::kOverflowIndex;
+    int scratch = -1;    // overflow paths' claimed-shared-slot memo
+    uint64_t gen = 0;    // slot generation at acquire (double-release guard)
+  };
+
+  std::unordered_map<uint64_t, Entry> entries;
+
+  ~ThreadSlotMap() {
+    // The dying thread is quiescent in every client mechanism (it cannot be
+    // mid-Add or mid-Enter while running TLS destructors), so its slots can
+    // be recycled immediately — no grace period.
+    std::lock_guard<std::mutex> l(RegistryMutex());
+    auto& live = LiveRegistries();
+    for (const auto& [id, e] : entries) {
+      if (e.index < 0) {
+        continue;  // overflow parker: nothing to return
+      }
+      auto it = live.find(id);
+      if (it != live.end()) {
+        it->second->ReleaseSlotWithGen(e.index, e.gen);
+      }
+    }
+  }
+};
+
+namespace {
+
+// Fast path: a small direct-mapped cache in trivially-destructible TLS (no
+// guard variable, no map lookup). Distinct live registries have distinct
+// ids, so a hit can never alias; collisions just fall through to the map.
+// Sized so one DB's registries (consecutive ids) land in distinct lines.
+struct CacheLine {
+  uint64_t id = 0;  // 0 = empty
+  int index = 0;
+  int* scratch = nullptr;
+};
+constexpr int kTlsCacheSize = 8;
+thread_local CacheLine t_slot_cache[kTlsCacheSize];
+
+thread_local ThreadSlotMap t_slot_map;
+
+}  // namespace
+
+ThreadSlotRegistry::ThreadSlotRegistry(int capacity)
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(capacity < 1 ? 1 : (capacity > kMaxSlots ? kMaxSlots : capacity)) {
+  for (int i = 0; i < kMaxSlots; i++) {
+    next_free_[i].store(0, std::memory_order_relaxed);
+    slot_gen_[i].store(0, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> l(RegistryMutex());
+  LiveRegistries().emplace(id_, this);
+}
+
+ThreadSlotRegistry::~ThreadSlotRegistry() {
+  // After this unlink no reaper can reach us; slots still held by live
+  // threads die with the registry and their TLS entries are purged lazily.
+  std::lock_guard<std::mutex> l(RegistryMutex());
+  LiveRegistries().erase(id_);
+}
+
+int ThreadSlotRegistry::SlotForThisThread() {
+  CacheLine& c = t_slot_cache[id_ % kTlsCacheSize];
+  if (c.id == id_) {
+    return c.index;
+  }
+  auto& entries = t_slot_map.entries;
+  auto it = entries.find(id_);
+  if (it == entries.end()) {
+    // First touch of this registry by this thread. While we are cold, purge
+    // entries for registries that no longer exist — this is what keeps a
+    // long-lived thread's map bounded across DB open/close cycles (the old
+    // per-mechanism reg_map caches leaked one entry per cycle).
+    {
+      std::lock_guard<std::mutex> l(RegistryMutex());
+      const auto& live = LiveRegistries();
+      for (auto e = entries.begin(); e != entries.end();) {
+        if (live.count(e->first) == 0) {
+          e = entries.erase(e);
+        } else {
+          ++e;
+        }
+      }
+    }
+    ThreadSlotMap::Entry entry;
+    int index;
+    if (TryAcquireSlotWithGen(&index, &entry.gen).ok()) {
+      entry.index = index;
+    }
+    it = entries.emplace(id_, entry).first;
+  }
+  c.id = id_;
+  c.index = it->second.index;
+  c.scratch = &it->second.scratch;
+  return c.index;
+}
+
+int* ThreadSlotRegistry::OverflowScratchForThisThread() {
+  CacheLine& c = t_slot_cache[id_ % kTlsCacheSize];
+  if (c.id != id_) {
+    SlotForThisThread();  // populates the cache line for id_
+  }
+  return c.scratch;
+}
+
+Status ThreadSlotRegistry::TryAcquireSlot(int* index) {
+  uint64_t gen;
+  return TryAcquireSlotWithGen(index, &gen);
+}
+
+Status ThreadSlotRegistry::TryAcquireSlotWithGen(int* index, uint64_t* gen) {
+  // Prefer reclaimed slots: they are already below the scan bound, so
+  // reusing them keeps FindMin/Synchronize scans short.
+  uint64_t head = free_head_.load(std::memory_order_acquire);
+  while ((head & 0xffffffffu) != 0) {
+    const uint32_t idx = static_cast<uint32_t>(head & 0xffffffffu) - 1;
+    const uint64_t tag = (head >> 32) + 1;
+    const uint32_t next = next_free_[idx].load(std::memory_order_relaxed);
+    if (free_head_.compare_exchange_weak(head, (tag << 32) | next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      *index = static_cast<int>(idx);
+      *gen = slot_gen_[idx].load(std::memory_order_relaxed);
+      in_use_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  // Free list empty: extend the high-water mark. The CAS must be seq_cst —
+  // it is the publication that makes the new slot's first payload store
+  // scanner-safe (see the ordering contract in the header).
+  int hw = high_water_.load(std::memory_order_relaxed);
+  while (hw < capacity_) {
+    if (high_water_.compare_exchange_weak(hw, hw + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+      *index = hw;
+      *gen = slot_gen_[hw].load(std::memory_order_relaxed);
+      in_use_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  return Status::Busy("thread slots exhausted; degrading to overflow");
+}
+
+void ThreadSlotRegistry::ReleaseSlot(int index) {
+  ReleaseSlotWithGen(index, slot_gen_[index].load(std::memory_order_relaxed));
+}
+
+void ThreadSlotRegistry::ReleaseSlotWithGen(int index, uint64_t gen) {
+  assert(index >= 0 && index < capacity_);
+  assert(slot_gen_[index].load(std::memory_order_relaxed) == gen);
+  (void)gen;
+  slot_gen_[index].fetch_add(1, std::memory_order_relaxed);
+  uint64_t head = free_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    next_free_[index].store(static_cast<uint32_t>(head & 0xffffffffu),
+                            std::memory_order_relaxed);
+    const uint64_t tag = (head >> 32) + 1;
+    // release: the dying thread's final quiescent payload store (kNone / 0)
+    // must be visible to whichever thread pops this slot next.
+    if (free_head_.compare_exchange_weak(head, (tag << 32) | (static_cast<uint32_t>(index) + 1),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  reclaims_.fetch_add(1, std::memory_order_relaxed);
+  in_use_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+ThreadSlotGauges ThreadSlotRegistry::Gauges() const {
+  ThreadSlotGauges g;
+  g.in_use = in_use_.load(std::memory_order_relaxed);
+  g.high_water = static_cast<uint64_t>(high_water_.load(std::memory_order_relaxed));
+  g.reclaims = reclaims_.load(std::memory_order_relaxed);
+  g.overflow_ops = overflow_ops_.load(std::memory_order_relaxed);
+  return g;
+}
+
+size_t ThreadSlotRegistry::ThreadMapSizeForTest() { return t_slot_map.entries.size(); }
+
+}  // namespace clsm

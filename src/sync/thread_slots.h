@@ -1,0 +1,133 @@
+// Reclaimable per-thread slot registry shared by the Active timestamp set
+// (§3.2) and the epoch guard (§3.1).
+//
+// Both mechanisms give every thread a cache-line-private slot so their hot
+// paths (Add/Remove, Enter/Exit) are a single uncontended store. The
+// original implementation burned a slot forever per (thread, instance) pair
+// and abort()ed the process when the 513th distinct thread arrived — fatal
+// for connection handlers and churning thread pools. This registry makes
+// the slots a recyclable resource:
+//
+//  * Acquire is lock-free: pop from a generation-stamped Treiber free list
+//    of reclaimed slots, else bump a high-water mark (a seq_cst RMW, which
+//    is also what publishes the slot to scanners — see below).
+//  * Reclaim is automatic: a TLS destructor releases every slot the dying
+//    thread holds, in any registry still alive. A dying thread is by
+//    construction quiescent in both client mechanisms (its Active entry is
+//    kNone and its epoch slot is 0), so release is just a tagged push — no
+//    grace period. The tag (generation) on the free-list head defeats ABA,
+//    and each slot carries a generation stamp so a stale cached index can
+//    never be released twice unnoticed (asserted in debug builds).
+//  * Exhaustion degrades instead of killing the process: when every
+//    private slot is held by a live thread, SlotForThisThread returns
+//    kOverflowIndex and the caller runs on a small set of shared overflow
+//    slots (contended CAS instead of a private store — slower, never
+//    fatal). TryAcquireSlot is the Status-returning face of that slow path.
+//
+// Ordering contract with scanners (FindMin / Synchronize): the high-water
+// bump is a seq_cst RMW sequenced before the caller's first seq_cst payload
+// store, and ScanBound() is a seq_cst load. Hence if a scanner's bound load
+// misses a just-registered slot, the bound load — and therefore every
+// scanner store sequenced before it (e.g. the snapTime CAS) — precedes the
+// payload store in the seq_cst total order, so the writer's subsequent
+// seq_cst read of snapTime observes the scanner and rolls back. This closes
+// the registration flavor of the Figure-4 race that a relaxed registration
+// counter reopened. Reused slots need no extra argument: their index is
+// already below the bound, so scanner and writer race on the slot itself
+// with plain seq_cst accesses.
+#ifndef CLSM_SYNC_THREAD_SLOTS_H_
+#define CLSM_SYNC_THREAD_SLOTS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace clsm {
+
+// Snapshot of the registry's health gauges (exported via clsm.stats.json).
+struct ThreadSlotGauges {
+  uint64_t in_use = 0;        // private slots currently held by live threads
+  uint64_t high_water = 0;    // private slots ever allocated (the scan bound)
+  uint64_t reclaims = 0;      // slots released by dying threads
+  uint64_t overflow_ops = 0;  // operations that ran on shared overflow slots
+};
+
+class ThreadSlotRegistry {
+ public:
+  static constexpr int kMaxSlots = 512;
+  // Returned by SlotForThisThread when all private slots are held by live
+  // threads; the caller must run the op on its shared overflow slots.
+  static constexpr int kOverflowIndex = -1;
+
+  // capacity may be lowered (tests exercise overflow without spawning 512
+  // slot-holding threads); it is clamped to [1, kMaxSlots].
+  explicit ThreadSlotRegistry(int capacity = kMaxSlots);
+  ~ThreadSlotRegistry();
+
+  ThreadSlotRegistry(const ThreadSlotRegistry&) = delete;
+  ThreadSlotRegistry& operator=(const ThreadSlotRegistry&) = delete;
+
+  // The calling thread's private slot in [0, capacity), acquired on first
+  // use and cached in TLS; kOverflowIndex when the registry is saturated.
+  // Lock-free after the first call per (thread, registry). Never aborts.
+  int SlotForThisThread();
+
+  // Per-(thread, registry) scratch word (stable address for the thread's
+  // lifetime). Overflow paths use it to remember which shared slot they
+  // claimed across a paired op (Enter/Exit). Meaningful only for threads
+  // parked on overflow.
+  int* OverflowScratchForThisThread();
+
+  // Core of the acquire slow path: pops a reclaimed slot or extends the
+  // high-water mark. Returns Status::Busy when every private slot is held
+  // by a live thread (the caller degrades to overflow slots). Lock-free.
+  Status TryAcquireSlot(int* index);
+
+  // One past the largest private slot index ever handed out; scanners visit
+  // exactly [0, ScanBound()). seq_cst — see the ordering contract above.
+  int ScanBound() const { return high_water_.load(std::memory_order_seq_cst); }
+
+  // Returns a quiescent slot to the free list. Called under the global
+  // registry mutex by the TLS reaper of a dying thread (and by tests).
+  void ReleaseSlot(int index);
+
+  void BumpOverflowOps() { overflow_ops_.fetch_add(1, std::memory_order_relaxed); }
+
+  ThreadSlotGauges Gauges() const;
+
+  uint64_t id() const { return id_; }
+  int capacity() const { return capacity_; }
+
+  // Number of (registry -> slot) entries in the calling thread's TLS map.
+  // Dead registries' entries are purged lazily on the acquire slow path, so
+  // this stays bounded across DB open/close cycles (regression-tested).
+  static size_t ThreadMapSizeForTest();
+
+ private:
+  const uint64_t id_;    // process-unique; keys the TLS caches
+  const int capacity_;
+  std::atomic<int> high_water_{0};
+
+  // Treiber free list of reclaimed slot indices. The head packs
+  // {tag:32 | index+1:32}; the tag increments on every successful push and
+  // pop, so a head recycled through A->B->A never satisfies a stale CAS.
+  std::atomic<uint64_t> free_head_{0};
+  std::atomic<uint32_t> next_free_[kMaxSlots];  // index+1 of next free, 0 = end
+  // Bumped on every release; the TLS entry remembers the generation it
+  // acquired, making a double-release of a reused slot assert in debug.
+  std::atomic<uint64_t> slot_gen_[kMaxSlots];
+
+  std::atomic<uint64_t> in_use_{0};
+  std::atomic<uint64_t> reclaims_{0};
+  std::atomic<uint64_t> overflow_ops_{0};
+
+  friend struct ThreadSlotMap;  // the TLS reaper validates generations
+  Status TryAcquireSlotWithGen(int* index, uint64_t* gen);
+  void ReleaseSlotWithGen(int index, uint64_t gen);
+};
+
+}  // namespace clsm
+
+#endif  // CLSM_SYNC_THREAD_SLOTS_H_

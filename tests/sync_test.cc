@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "src/sync/active_set.h"
+#include "src/sync/backoff.h"
 #include "src/sync/ref_guard.h"
 #include "src/sync/shared_exclusive_lock.h"
+#include "src/sync/thread_slots.h"
 #include "src/sync/time_counter.h"
 
 namespace clsm {
@@ -297,6 +299,267 @@ TEST(EpochManagerTest, UnlinkSynchronizeFreeIsSafe) {
   }
   delete ptr.load();
   EXPECT_GT(reads.load(), 0);
+}
+
+TEST(ThreadSlotsTest, TryAcquireReportsExhaustionAndRecycles) {
+  ThreadSlotRegistry reg(2);
+  int a = -1;
+  int b = -1;
+  ASSERT_TRUE(reg.TryAcquireSlot(&a).ok());
+  ASSERT_TRUE(reg.TryAcquireSlot(&b).ok());
+  EXPECT_NE(a, b);
+  int c = -1;
+  Status s = reg.TryAcquireSlot(&c);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  reg.ReleaseSlot(a);
+  ASSERT_TRUE(reg.TryAcquireSlot(&c).ok());
+  EXPECT_EQ(a, c);  // reclaimed slot is reused before the high water moves
+  ThreadSlotGauges g = reg.Gauges();
+  EXPECT_EQ(2u, g.in_use);
+  EXPECT_EQ(2u, g.high_water);
+  EXPECT_EQ(1u, g.reclaims);
+}
+
+TEST(ThreadSlotsTest, DyingThreadsReturnTheirSlots) {
+  ThreadSlotRegistry reg;
+  std::atomic<bool> sawOverflow{false};
+  constexpr int kBatch = 16;
+  constexpr int kBatches = 2 * ThreadSlotRegistry::kMaxSlots / kBatch;
+  for (int round = 0; round < kBatches; round++) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kBatch; t++) {
+      threads.emplace_back([&] {
+        if (reg.SlotForThisThread() == ThreadSlotRegistry::kOverflowIndex) {
+          sawOverflow = true;
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+  }
+  // 2 * kMaxSlots threads touched the registry, but never more than kBatch
+  // at once: reclamation must have kept it far from saturation.
+  EXPECT_FALSE(sawOverflow.load());
+  ThreadSlotGauges g = reg.Gauges();
+  EXPECT_EQ(0u, g.in_use);
+  EXPECT_LE(g.high_water, static_cast<uint64_t>(kBatch));
+  EXPECT_EQ(static_cast<uint64_t>(kBatch * kBatches), g.reclaims);
+}
+
+TEST(ThreadSlotsTest, TlsMapBoundedAcrossRegistryChurn) {
+  // One set per DB open/close cycle: the old per-mechanism reg_map caches
+  // leaked one entry per cycle in every long-lived thread. The registry
+  // purges dead entries on the acquire slow path.
+  for (int i = 0; i < 200; i++) {
+    ActiveTimestampSet set;
+    set.Add(1);
+    set.Remove(1);
+  }
+  ActiveTimestampSet last;
+  last.Add(1);  // the purge runs on this first-touch slow path
+  last.Remove(1);
+  EXPECT_LE(ThreadSlotRegistry::ThreadMapSizeForTest(), 4u);
+}
+
+TEST(ActiveSetTest, SlotsRecycledAcrossThreadGenerations) {
+  // 4 * kMaxThreads short-lived threads against ONE set. Before slot
+  // reclamation the 513th distinct thread abort()ed the whole process.
+  ActiveTimestampSet set;
+  constexpr int kBatch = 16;
+  const int total = 4 * ActiveTimestampSet::kMaxThreads;
+  int spawned = 0;
+  while (spawned < total) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kBatch; t++, spawned++) {
+      const uint64_t ts = static_cast<uint64_t>(spawned) + 1;
+      threads.emplace_back([&set, ts] {
+        set.Add(ts);
+        set.Remove(ts);
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+  }
+  EXPECT_EQ(ActiveTimestampSet::kNone, set.FindMin());
+  ThreadSlotGauges g = set.SlotGauges();
+  EXPECT_EQ(0u, g.in_use);
+  EXPECT_GT(g.reclaims, 0u);
+  EXPECT_LE(g.high_water, static_cast<uint64_t>(2 * kBatch));
+  EXPECT_EQ(0u, g.overflow_ops);
+}
+
+TEST(ActiveSetTest, OverflowWhenSaturatedIsCorrectAndNeverFatal) {
+  // Two private slots, both pinned by parked live threads; later threads
+  // must degrade to the shared overflow slots with full FindMin visibility.
+  ActiveTimestampSet set(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> parked{0};
+  std::vector<std::thread> holders;
+  for (int t = 0; t < 2; t++) {
+    holders.emplace_back([&, t] {
+      set.Add(100 + t);
+      parked.fetch_add(1);
+      while (!release.load()) {
+        std::this_thread::yield();
+      }
+      set.Remove(100 + t);
+    });
+  }
+  while (parked.load() < 2) {
+    std::this_thread::yield();
+  }
+
+  // An overflow thread holding a SMALLER timestamp: FindMin must see it.
+  std::atomic<bool> ovf_release{false};
+  std::atomic<bool> ovf_in{false};
+  std::thread low([&] {
+    set.Add(5);
+    ovf_in = true;
+    while (!ovf_release.load()) {
+      std::this_thread::yield();
+    }
+    set.Remove(5);
+  });
+  while (!ovf_in.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(5u, set.FindMin());
+
+  // More overflow churn on top, concurrently.
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 3; t++) {
+    churners.emplace_back([&, t] {
+      for (int i = 0; i < 1000; i++) {
+        const uint64_t ts = 1000 + static_cast<uint64_t>(t) * 10000 + i;
+        set.Add(ts);
+        set.Remove(ts);
+      }
+    });
+  }
+  for (auto& th : churners) {
+    th.join();
+  }
+  EXPECT_EQ(5u, set.FindMin());
+  ovf_release = true;
+  low.join();
+  EXPECT_EQ(100u, set.FindMin());
+  release = true;
+  for (auto& th : holders) {
+    th.join();
+  }
+  EXPECT_EQ(ActiveTimestampSet::kNone, set.FindMin());
+  EXPECT_GT(set.SlotGauges().overflow_ops, 0u);
+}
+
+TEST(ActiveSetTest, NewThreadRegistrationVisibleToScanner) {
+  // Figure-4 regression, registration flavor: the slot count used to be
+  // bumped relaxed and read acquire, so a scanner could read a stale count
+  // and skip a brand-new thread's slot even though its seq_cst ts store was
+  // already visible — a put both invisible to the snapshot AND not rolled
+  // back. The registry's seq_cst high-water publication restores the Dekker
+  // argument: first-put-on-a-new-thread is either rolled back by the
+  // snapTime check or observed by a scan that follows the snapTime advance.
+  constexpr int kRounds = 300;
+  for (int round = 0; round < kRounds; round++) {
+    ActiveTimestampSet set;  // fresh set: the putter's Add registers a slot
+    std::atomic<uint64_t> snap_time{0};
+    const uint64_t ts = 100;
+    std::atomic<bool> kept{false};
+    std::atomic<bool> done{false};
+    std::thread putter([&] {
+      set.Add(ts);  // first op ever on this thread for this set
+      if (ts <= snap_time.load(std::memory_order_seq_cst)) {
+        set.Remove(ts);  // getTS rollback
+      } else {
+        kept.store(true, std::memory_order_seq_cst);
+        while (!done.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        set.Remove(ts);
+      }
+    });
+    // The scanner half of AcquireScanTimestamp: publish snapTime, then scan.
+    snap_time.store(ts, std::memory_order_seq_cst);
+    const uint64_t min = set.FindMin();
+    const bool missed = min == ActiveTimestampSet::kNone || min > ts;
+    done.store(true, std::memory_order_release);
+    putter.join();
+    ASSERT_FALSE(kept.load() && missed)
+        << "round " << round << ": committed put invisible to the scan";
+  }
+}
+
+TEST(EpochManagerTest, SlotsRecycledAcrossThreadGenerations) {
+  EpochManager mgr;
+  constexpr int kBatch = 16;
+  const int total = 2 * EpochManager::kMaxThreads;
+  int spawned = 0;
+  while (spawned < total) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kBatch; t++, spawned++) {
+      threads.emplace_back([&mgr] { EpochGuard g(mgr); });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+  }
+  mgr.Synchronize();  // no leaked non-quiescent slots: returns immediately
+  ThreadSlotGauges g = mgr.SlotGauges();
+  EXPECT_EQ(0u, g.in_use);
+  EXPECT_GT(g.reclaims, 0u);
+  EXPECT_LE(g.high_water, static_cast<uint64_t>(2 * kBatch));
+}
+
+TEST(EpochManagerTest, OverflowReaderStillBlocksSynchronize) {
+  // One private slot, pinned by a live (quiescent) thread; the next reader
+  // parks on overflow — and Synchronize must still honor its critical
+  // section.
+  EpochManager mgr(1);
+  std::atomic<bool> holder_release{false};
+  std::atomic<bool> holder_ready{false};
+  std::thread holder([&] {
+    {
+      EpochGuard g(mgr);  // claims the only private slot
+    }
+    holder_ready = true;
+    while (!holder_release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!holder_ready.load()) {
+    std::this_thread::yield();
+  }
+
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> reader_release{false};
+  std::thread reader([&] {
+    mgr.Enter();  // degrades to an overflow slot
+    reader_in = true;
+    while (!reader_release.load()) {
+      std::this_thread::yield();
+    }
+    mgr.Exit();
+  });
+  while (!reader_in.load()) {
+    std::this_thread::yield();
+  }
+
+  std::atomic<bool> sync_done{false};
+  std::thread syncer([&] {
+    mgr.Synchronize();
+    sync_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(sync_done.load()) << "Synchronize ignored an overflow reader";
+  reader_release = true;
+  syncer.join();
+  EXPECT_TRUE(sync_done.load());
+  reader.join();
+  holder_release = true;
+  holder.join();
+  EXPECT_GT(mgr.SlotGauges().overflow_ops, 0u);
 }
 
 }  // namespace
